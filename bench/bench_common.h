@@ -1,0 +1,32 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+
+namespace adgc::bench {
+
+/// Wall-clock stopwatch (milliseconds, double).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace adgc::bench

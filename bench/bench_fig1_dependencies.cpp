@@ -1,0 +1,100 @@
+// Fig. 1 quantified — converging dependencies.
+//
+// A distributed cycle with D extra inbound references (each from its own
+// process). While any dependency's holder is live the cycle must survive;
+// after all holders drop their references, the acyclic DGC clears the
+// dependencies and the DCDA reclaims the cycle. Reports detection traffic
+// and reclamation latency as D grows.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/sim/scenarios.h"
+
+namespace adgc {
+namespace {
+
+struct DepResult {
+  std::uint64_t cdms = 0;
+  std::uint64_t cycle_founds_while_held = 0;  // MUST be 0
+  SimTime reclaim_us = 0;
+  bool collected = false;
+};
+
+DepResult run_deps(std::size_t deps, std::uint64_t seed) {
+  const std::size_t ring_procs = 3;
+  Runtime rt(ring_procs + deps, sim::fast_config(seed));
+  // Ring across processes 0..2, unrooted (garbage but for the dependencies).
+  const sim::Ring ring = sim::build_ring(rt, ring_procs, 2, /*pin_first=*/false);
+  // D extra holders, each rooted in its own process, pointing at the head.
+  std::vector<std::pair<ObjectSeq, RefId>> holders;
+  for (std::size_t d = 0; d < deps; ++d) {
+    const ProcessId pid = static_cast<ProcessId>(ring_procs + d);
+    const ObjectSeq w = rt.proc(pid).create_object();
+    rt.proc(pid).add_root(w);
+    holders.emplace_back(w, rt.link(ObjectId{pid, w}, ring.heads[0]));
+  }
+
+  rt.run_for(2'000'000);  // plenty of scans while dependencies are live
+  DepResult res;
+  res.cycle_founds_while_held = rt.total_metrics().detections_cycle_found.get();
+  const Metrics before = rt.total_metrics();
+
+  // Drop every dependency.
+  for (std::size_t d = 0; d < deps; ++d) {
+    const ProcessId pid = static_cast<ProcessId>(ring_procs + d);
+    rt.proc(pid).remove_remote_ref(holders[d].first, holders[d].second);
+  }
+  const SimTime released = rt.now();
+  const SimTime deadline = released + 60'000'000;
+  while (rt.now() < deadline) {
+    rt.run_for(10'000);
+    std::size_t ring_objs = 0;
+    for (ProcessId pid = 0; pid < ring_procs; ++pid) {
+      ring_objs += rt.proc(pid).heap().size();
+    }
+    if (ring_objs == 0) {
+      res.collected = true;
+      break;
+    }
+  }
+  const Metrics after = rt.total_metrics();
+  res.cdms = after.cdms_sent.get() - before.cdms_sent.get();
+  res.reclaim_us = rt.now() - released;
+  return res;
+}
+
+void BM_Dependencies(benchmark::State& state) {
+  const auto deps = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_deps(deps, seed++));
+  }
+}
+BENCHMARK(BM_Dependencies)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace adgc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  using namespace adgc;
+  bench::header(
+      "Fig. 1 — extra dependencies converging on a distributed cycle\n"
+      "(cycle must never be collected while a dependency holder lives)");
+  std::printf("%-4s %18s %10s %14s %10s\n", "D", "false-collections", "CDMs",
+              "reclaim (ms)", "status");
+  // D=0 is the control (garbage from the start; collected in the hold
+  // phase), so the "while held" audit only applies for D >= 1.
+  for (std::size_t d : {1u, 2u, 4u, 8u, 16u}) {
+    const DepResult r = run_deps(d, 700 + d);
+    std::printf("%-4zu %18llu %10llu %14.1f %10s\n", d,
+                static_cast<unsigned long long>(r.cycle_founds_while_held),
+                static_cast<unsigned long long>(r.cdms), r.reclaim_us / 1000.0,
+                r.collected ? "collected" : "TIMEOUT");
+  }
+  std::printf("\nShape: zero false collections at every D; reclamation after release\n"
+              "is one acyclic round (dependency scions die) plus one detection.\n");
+  return 0;
+}

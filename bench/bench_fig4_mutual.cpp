@@ -1,0 +1,159 @@
+// Fig. 4 generalized — mutually-linked distributed cycles.
+//
+// The paper's Fig. 4 is two cycles sharing objects across six processes.
+// Generalization: L cycles (petals) all passing through one hub object, so
+// every petal's reachability depends on every other petal's scion. Reports
+// CDM traffic, derivation-duplicate drops (the §3.1 termination rule) and
+// reclamation time as L grows.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/sim/scenarios.h"
+
+namespace adgc {
+namespace {
+
+/// Builds L petal cycles through a hub at P0: hub → head_i(P(1+i·2)) →
+/// tail_i(P(2+i·2)) → hub. Each petal spans two dedicated processes.
+struct Flower {
+  ObjectId hub;
+  std::vector<RefId> petal_refs;
+};
+
+Flower build_flower(Runtime& rt, std::size_t petals) {
+  Flower f;
+  f.hub = ObjectId{0, rt.proc(0).create_object()};
+  // Temporary root while building.
+  rt.proc(0).add_root(f.hub.seq);
+  for (std::size_t i = 0; i < petals; ++i) {
+    const ProcessId pa = static_cast<ProcessId>(1 + i * 2);
+    const ProcessId pb = static_cast<ProcessId>(2 + i * 2);
+    const ObjectId head{pa, rt.proc(pa).create_object()};
+    const ObjectId tail{pb, rt.proc(pb).create_object()};
+    f.petal_refs.push_back(rt.link(f.hub, head));
+    rt.link(head, tail);
+    rt.link(tail, f.hub);
+  }
+  return f;
+}
+
+struct MutualResult {
+  std::uint64_t cdms = 0;
+  std::uint64_t dup_drops = 0;
+  std::uint64_t cycle_founds = 0;
+  SimTime reclaim_us = 0;
+  bool collected = false;
+};
+
+MutualResult run_flower(std::size_t petals, std::uint64_t seed,
+                        std::uint32_t dedup_cache = 4096) {
+  RuntimeConfig cfg = sim::fast_config(seed);
+  cfg.proc.cdm_dedup_cache_size = dedup_cache;
+  Runtime rt(1 + 2 * petals, cfg);
+  const Flower f = build_flower(rt, petals);
+  rt.run_for(200'000);
+  const Metrics before = rt.total_metrics();
+  rt.proc(0).remove_root(f.hub.seq);
+  const SimTime dropped = rt.now();
+
+  MutualResult res;
+  const SimTime deadline = dropped + 120'000'000;
+  while (rt.now() < deadline) {
+    rt.run_for(10'000);
+    if (sim::global_stats(rt).total_objects == 0) {
+      res.collected = true;
+      break;
+    }
+  }
+  const Metrics after = rt.total_metrics();
+  res.cdms = after.cdms_sent.get() - before.cdms_sent.get();
+  res.dup_drops = after.detections_dropped_dup.get() - before.detections_dropped_dup.get();
+  res.cycle_founds =
+      after.detections_cycle_found.get() - before.detections_cycle_found.get();
+  res.reclaim_us = rt.now() - dropped;
+  return res;
+}
+
+MutualResult run_paper_fig4(std::uint64_t seed) {
+  Runtime rt(6, sim::fast_config(seed));
+  sim::build_fig4(rt);  // garbage from the start
+  const Metrics before = rt.total_metrics();
+  MutualResult res;
+  const SimTime deadline = rt.now() + 60'000'000;
+  while (rt.now() < deadline) {
+    rt.run_for(10'000);
+    if (sim::global_stats(rt).total_objects == 0) {
+      res.collected = true;
+      break;
+    }
+  }
+  const Metrics after = rt.total_metrics();
+  res.cdms = after.cdms_sent.get() - before.cdms_sent.get();
+  res.dup_drops = after.detections_dropped_dup.get() - before.detections_dropped_dup.get();
+  res.cycle_founds =
+      after.detections_cycle_found.get() - before.detections_cycle_found.get();
+  res.reclaim_us = rt.now();
+  return res;
+}
+
+void BM_MutualCycles(benchmark::State& state) {
+  const auto petals = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_flower(petals, seed++));
+  }
+}
+BENCHMARK(BM_MutualCycles)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace adgc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  using namespace adgc;
+  bench::header(
+      "Fig. 4 — the paper's exact mutually-linked cycles (6 processes)");
+  std::printf("%-10s %10s %14s %14s %14s %10s\n", "variant", "CDMs", "dup-drops",
+              "cycle-founds", "reclaim (ms)", "status");
+  const MutualResult paper = run_paper_fig4(4242);
+  std::printf("%-10s %10llu %14llu %14llu %14.1f %10s\n", "fig4",
+              static_cast<unsigned long long>(paper.cdms),
+              static_cast<unsigned long long>(paper.dup_drops),
+              static_cast<unsigned long long>(paper.cycle_founds),
+              paper.reclaim_us / 1000.0, paper.collected ? "collected" : "TIMEOUT");
+
+  bench::header(
+      "Fig. 4 generalized — L mutually-linked cycles through one hub\n"
+      "(every petal's scion is a dependency of every other petal's cycle)");
+  std::printf("%-4s %-6s %10s %14s %14s %14s %10s\n", "L", "procs", "CDMs",
+              "dup-drops", "cycle-founds", "reclaim (ms)", "status");
+  for (std::size_t petals : {1u, 2u, 3u, 4u, 6u}) {
+    const MutualResult r = run_flower(petals, 300 + petals);
+    std::printf("%-4zu %-6zu %10llu %14llu %14llu %14.1f %10s\n", petals,
+                1 + 2 * petals, static_cast<unsigned long long>(r.cdms),
+                static_cast<unsigned long long>(r.dup_drops),
+                static_cast<unsigned long long>(r.cycle_founds), r.reclaim_us / 1000.0,
+                r.collected ? "collected" : "TIMEOUT");
+  }
+  std::printf("\nShape: CDM traffic grows super-linearly with L (each probe must\n"
+              "resolve all sibling-petal dependencies) while the dup-drop rule\n"
+              "keeps every probe finite — no detection ever loops.\n");
+
+  bench::header(
+      "Ablation — seen-CDM dedup cache on densely linked cycles\n"
+      "(identical algebras reached along different branch orders)");
+  std::printf("%-4s %-8s %12s %14s %14s %10s\n", "L", "cache", "CDMs", "dup-drops",
+              "reclaim (ms)", "status");
+  for (std::size_t petals : {3u, 4u, 5u}) {
+    for (std::uint32_t cache : {0u, 4096u}) {
+      const MutualResult r = run_flower(petals, 900 + petals, cache);
+      std::printf("%-4zu %-8s %12llu %14llu %14.1f %10s\n", petals,
+                  cache ? "on" : "off", static_cast<unsigned long long>(r.cdms),
+                  static_cast<unsigned long long>(r.dup_drops), r.reclaim_us / 1000.0,
+                  r.collected ? "collected" : "TIMEOUT");
+    }
+  }
+  return 0;
+}

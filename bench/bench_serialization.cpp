@@ -1,0 +1,138 @@
+// §4 serialization evaluation reproduction.
+//
+// Paper numbers:
+//   Rotor (reflective serializer), 10k linked dummy objects:      26 037 ms
+//   Rotor, same graph + one remote reference per object (10k stubs):
+//                                                        45 125 ms (+73%)
+//   Production .NET (OBIWAN reimplementation):            250-350 ms
+//   → "serializing a remote reference is faster than serializing an
+//      additional dummy object", and production serialization is ~100×
+//      faster than Rotor's.
+//
+// Here: NaiveSerializer (reflective/text, models Rotor) vs BinarySerializer
+// (bulk binary, models production .NET) on the same graph shapes. The
+// reproduction targets are the *ratios*: naive ≫ binary, and adding stubs
+// costs extra but less than doubling the object count would.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/snapshot/serializer.h"
+
+namespace adgc {
+namespace {
+
+/// The paper's workload: a chain of `n` dummy objects, each just holding a
+/// reference to the next; optionally one remote reference (stub) each.
+SnapshotData chain_snapshot(std::size_t n, bool with_stubs) {
+  SnapshotData snap;
+  snap.pid = 0;
+  snap.taken_at = 1;
+  snap.objects.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    SnapshotData::Obj o;
+    o.seq = i;
+    if (i < n) o.local_fields.push_back(i + 1);
+    if (with_stubs) o.remote_fields.push_back(make_ref_id(0, i));
+    snap.objects.push_back(std::move(o));
+  }
+  snap.roots = {1};
+  if (with_stubs) {
+    snap.stubs.reserve(n);
+    for (std::size_t i = 1; i <= n; ++i) {
+      snap.stubs.push_back({make_ref_id(0, i), ObjectId{1, i}, 0});
+    }
+  }
+  return snap;
+}
+
+void BM_Serialize(benchmark::State& state) {
+  const bool naive = state.range(0) != 0;
+  const bool stubs = state.range(1) != 0;
+  const auto snap = chain_snapshot(10'000, stubs);
+  NaiveSerializer n;
+  BinarySerializer b;
+  const Serializer& s = naive ? static_cast<const Serializer&>(n)
+                              : static_cast<const Serializer&>(b);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto out = s.serialize(snap);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel((naive ? std::string("naive") : std::string("binary")) +
+                 (stubs ? "+10k stubs" : ""));
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_Serialize)->ArgsProduct({{0, 1}, {0, 1}})->Unit(benchmark::kMillisecond);
+
+void BM_Deserialize(benchmark::State& state) {
+  const bool naive = state.range(0) != 0;
+  const auto snap = chain_snapshot(10'000, true);
+  NaiveSerializer n;
+  BinarySerializer b;
+  const Serializer& s = naive ? static_cast<const Serializer&>(n)
+                              : static_cast<const Serializer&>(b);
+  const auto bytes = s.serialize(snap);
+  for (auto _ : state) {
+    auto back = s.deserialize(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetLabel(naive ? "naive" : "binary");
+}
+BENCHMARK(BM_Deserialize)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+double measure_ms(const Serializer& s, const SnapshotData& snap, int reps = 5) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    bench::Stopwatch sw;
+    auto out = s.serialize(snap);
+    benchmark::DoNotOptimize(out);
+    best = std::min(best, sw.ms());
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace adgc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  using namespace adgc;
+  bench::header(
+      "§4 snapshot serialization — 10k dummy objects\n"
+      "(paper: Rotor 26037 ms, +10k stubs 45125 ms (+73%);\n"
+      " production .NET 250-350 ms, ~100x faster)");
+
+  const auto plain = chain_snapshot(10'000, false);
+  const auto stubbed = chain_snapshot(10'000, true);
+  NaiveSerializer naive;
+  BinarySerializer binary;
+
+  const double n_plain = measure_ms(naive, plain);
+  const double n_stub = measure_ms(naive, stubbed);
+  const double b_plain = measure_ms(binary, plain);
+  const double b_stub = measure_ms(binary, stubbed);
+
+  std::printf("%-34s %12s\n", "configuration", "time (ms)");
+  std::printf("%-34s %12.2f\n", "naive (Rotor stand-in), plain", n_plain);
+  std::printf("%-34s %12.2f  (+%.0f%% over plain)\n",
+              "naive, +10k remote references", n_stub, (n_stub - n_plain) / n_plain * 100);
+  std::printf("%-34s %12.2f\n", "binary (.NET stand-in), plain", b_plain);
+  std::printf("%-34s %12.2f\n", "binary, +10k remote references", b_stub);
+  std::printf("\nnaive/binary ratio (plain):   %6.1fx   (paper: ~100x)\n",
+              n_plain / b_plain);
+  std::printf("naive/binary ratio (stubbed): %6.1fx\n", n_stub / b_stub);
+  // "Serializing a remote reference is faster than serializing an
+  //  additional dummy object": compare the stub increment against a graph
+  //  with 20k objects.
+  const auto doubled = chain_snapshot(20'000, false);
+  const double n_doubled = measure_ms(naive, doubled);
+  std::printf(
+      "\nstub increment %.2f ms vs extra-10k-objects increment %.2f ms "
+      "(stubs cheaper: %s)\n",
+      n_stub - n_plain, n_doubled - n_plain,
+      (n_stub - n_plain) < (n_doubled - n_plain) ? "yes" : "NO");
+  return 0;
+}

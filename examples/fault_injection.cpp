@@ -1,0 +1,74 @@
+// Fault-injection demo — the paper's "tolerates message loss" claim, live.
+//
+// A distributed garbage cycle is created under a badly degraded network
+// (heavy loss + duplication), then the network degrades to a full partition
+// and heals. The protocol never blocks, never corrupts, and converges as
+// soon as the network allows.
+//
+//   ./example_fault_injection
+#include <cstdio>
+
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/sim/scenarios.h"
+
+using namespace adgc;
+
+namespace {
+
+void report(Runtime& rt, const char* phase) {
+  const sim::GlobalStats st = sim::global_stats(rt);
+  const Metrics m = rt.total_metrics();
+  std::printf("%-28s objects=%-3zu scions=%-3zu lost=%-5llu dup=%-4llu timeouts=%llu\n",
+              phase, st.total_objects, st.scions,
+              static_cast<unsigned long long>(m.messages_lost.get()),
+              static_cast<unsigned long long>(m.messages_duplicated.get()),
+              static_cast<unsigned long long>(m.detections_timed_out.get()));
+}
+
+}  // namespace
+
+int main() {
+  RuntimeConfig cfg = sim::fast_config(31337);
+  cfg.net.loss_probability = 0.25;       // every 4th message vanishes
+  cfg.net.duplicate_probability = 0.10;  // and some arrive twice
+  Runtime rt(4, cfg);
+
+  std::printf("network: 25%% loss, 10%% duplication\n\n");
+  const sim::Fig3 fig = sim::build_fig3(rt);
+  rt.run_for(500'000);
+  report(rt, "built (rooted)");
+
+  rt.proc(0).remove_root(fig.A.seq);
+  report(rt, "root dropped");
+
+  rt.run_for(3'000'000);
+  report(rt, "t+3s (lossy)");
+
+  // Total partition for a while: nothing can progress across it.
+  for (ProcessId a = 0; a < 4; ++a) {
+    for (ProcessId b = 0; b < 4; ++b) {
+      if (a != b) rt.network().set_link_blocked(a, b, true);
+    }
+  }
+  rt.run_for(3'000'000);
+  report(rt, "t+6s (partitioned)");
+
+  for (ProcessId a = 0; a < 4; ++a) {
+    for (ProcessId b = 0; b < 4; ++b) {
+      if (a != b) rt.network().set_link_blocked(a, b, false);
+    }
+  }
+  std::printf("partition healed; loss still 25%%\n");
+  rt.run_for(30'000'000);
+  report(rt, "t+36s (healed, lossy)");
+
+  const sim::GlobalStats st = sim::global_stats(rt);
+  if (st.total_objects == 0 && st.scions == 0) {
+    std::printf("\nSUCCESS: the cycle was reclaimed despite loss, duplication and a\n"
+                "partition — faults only delayed collection, never corrupted it.\n");
+    return 0;
+  }
+  std::printf("\nFAILURE: %zu objects / %zu scions remain\n", st.total_objects, st.scions);
+  return 1;
+}

@@ -1,0 +1,89 @@
+// Persistent snapshots & recovery — the paper's snapshots-on-disk (§2.2).
+//
+// Processes persist every snapshot (bounded retention). We then simulate a
+// "restart": a fresh runtime over the same store directory recovers each
+// process's summarized view from disk before taking any snapshot of its
+// own, and the DCDA can probe immediately. A stale recovered view is safe
+// by construction — the invocation-counter rules reject anything the
+// mutator touched since.
+//
+//   ./example_persistent_snapshots [store-dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/sim/scenarios.h"
+#include "src/snapshot/snapshot_store.h"
+
+using namespace adgc;
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir =
+      argc > 1 ? std::filesystem::path(argv[1])
+               : std::filesystem::temp_directory_path() / "adgc_example_store";
+  std::filesystem::remove_all(dir);
+
+  RuntimeConfig cfg = sim::manual_config(4711);
+  cfg.proc.snapshot_dir = dir.string();
+  cfg.proc.snapshot_retain = 2;
+
+  RefId candidate = kNoRef;
+  {
+    Runtime rt(4, cfg);
+    const sim::Fig3 fig = sim::build_fig3(rt);
+    rt.proc(0).remove_root(fig.A.seq);
+    for (ProcessId pid = 0; pid < 4; ++pid) {
+      rt.proc(pid).run_lgc();
+      rt.proc(pid).take_snapshot();  // persisted to disk
+    }
+    rt.run_for(50'000);
+    candidate = fig.B_to_F;
+    std::printf("first run: built Fig. 3, dropped the root, persisted snapshots to\n  %s\n",
+                dir.string().c_str());
+  }  // runtime destroyed — "crash"
+
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  std::printf("on disk after shutdown: %zu snapshot files\n", files);
+
+  // "Restart": fresh runtime, same object graph rebuilt by the application
+  // layer (in a real system the persistent store would hold the objects
+  // too; here we rebuild and re-drop the root to match the stored view).
+  Runtime rt(4, cfg);
+  const sim::Fig3 fig = sim::build_fig3(rt);
+  rt.proc(0).remove_root(fig.A.seq);
+  for (ProcessId pid = 0; pid < 4; ++pid) rt.proc(pid).run_lgc();
+
+  int recovered = 0;
+  for (ProcessId pid = 0; pid < 4; ++pid) {
+    if (rt.proc(pid).recover_summary_from_store()) ++recovered;
+  }
+  std::printf("after restart: %d/4 processes recovered their summarized view from disk\n",
+              recovered);
+
+  // Probe the cycle using the RECOVERED views — no fresh snapshot taken.
+  const bool started = rt.proc(1).detector().start_detection(fig.B_to_F, rt.now());
+  std::printf("detection from recovered snapshots: %s\n",
+              started ? "started" : "refused");
+  rt.run_for(300'000);
+  sim::settle_manual(rt, 8);
+
+  const sim::GlobalStats st = sim::global_stats(rt);
+  std::printf("final: objects=%zu scions=%zu cycles found=%llu\n", st.total_objects,
+              st.scions,
+              static_cast<unsigned long long>(
+                  rt.total_metrics().detections_cycle_found.get()));
+  std::filesystem::remove_all(dir);
+
+  if (recovered == 4 && st.total_objects == 0) {
+    std::printf("SUCCESS: recovered views drove a full collection after restart.\n");
+    return 0;
+  }
+  std::printf("FAILURE\n");
+  (void)candidate;
+  return 1;
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a distributed cycle of garbage and watch the DCDA
+// reclaim it — something no acyclic distributed GC can do.
+//
+//   ./example_quickstart
+//
+// Four simulated processes hold a ring of objects (the paper's Fig. 3);
+// the only local root is dropped, making the whole ring distributed
+// garbage. Reference-listing alone would keep it alive forever; the cycle
+// detector proves the cycle and one scion deletion unravels everything.
+#include <cstdio>
+
+#include "src/common/log.h"
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/sim/scenarios.h"
+
+int main() {
+  using namespace adgc;
+  Log::set_level(LogLevel::kInfo);
+
+  Runtime rt(4, sim::fast_config(/*seed=*/7));
+  const sim::Fig3 fig = sim::build_fig3(rt);
+
+  std::printf("Built the Fig. 3 graph: a 13-object cycle spanning 4 processes.\n");
+  sim::GlobalStats st = sim::global_stats(rt);
+  std::printf("  objects=%zu live=%zu garbage=%zu stubs=%zu scions=%zu\n",
+              st.total_objects, st.live_objects, st.garbage_objects, st.stubs, st.scions);
+
+  // Let the system run while still rooted: nothing may be collected.
+  rt.run_for(300'000);
+  st = sim::global_stats(rt);
+  std::printf("After 0.3s with the root alive: objects=%zu (nothing collected)\n",
+              st.total_objects);
+
+  // Drop the root: the ring is now distributed cyclic garbage.
+  rt.proc(0).remove_root(fig.A.seq);
+  std::printf("Dropped the root of A_P1; the ring is now garbage.\n");
+
+  rt.run_for(2'000'000);
+  st = sim::global_stats(rt);
+  std::printf("After 2s of (simulated) background collection:\n");
+  std::printf("  objects=%zu live=%zu garbage=%zu stubs=%zu scions=%zu\n",
+              st.total_objects, st.live_objects, st.garbage_objects, st.stubs, st.scions);
+
+  const Metrics total = rt.total_metrics();
+  std::printf("Protocol activity:\n%s", total.report("  ").c_str());
+
+  if (st.total_objects == 0) {
+    std::printf("SUCCESS: the distributed cycle was detected and reclaimed.\n");
+    return 0;
+  }
+  std::printf("FAILURE: %zu objects remain.\n", st.total_objects);
+  return 1;
+}

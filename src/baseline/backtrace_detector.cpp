@@ -1,0 +1,180 @@
+#include "src/baseline/backtrace_detector.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/rt/process.h"
+
+namespace adgc {
+
+BacktraceDetector::BacktraceDetector(Process& proc, Metrics& metrics)
+    : proc_(proc), metrics_(metrics) {}
+
+void BacktraceDetector::start(RefId candidate) {
+  const ScionEntry* scion = proc_.scions_.find(candidate);
+  if (!scion || scion->target_root_reachable) return;
+
+  Trace tr;
+  tr.trace_id = next_trace_++;
+  tr.candidate = candidate;
+  tr.start_ic = scion->ic;
+  tr.started_at = proc_.env_.now();
+
+  const std::uint64_t req = next_req_++;
+  traces_.emplace(req, tr);
+
+  BacktraceRequestMsg msg;
+  msg.trace_id = tr.trace_id;
+  msg.req_id = req;
+  msg.subject_ref = candidate;
+  msg.visited = {candidate};
+  msg.depth = 1;
+  metrics_.backtrace_requests.add();
+  proc_.send(scion->holder, msg);
+}
+
+void BacktraceDetector::on_request(ProcessId src, const BacktraceRequestMsg& msg) {
+  max_depth_seen_ = std::max(max_depth_seen_, msg.depth);
+  auto reply = [&](bool reachable) {
+    BacktraceReplyMsg out;
+    out.trace_id = msg.trace_id;
+    out.req_id = msg.req_id;
+    out.reachable = reachable;
+    metrics_.backtrace_replies.add();
+    proc_.send(src, out);
+  };
+
+  const auto summary = proc_.current_summary();
+  if (!summary) {
+    reply(true);  // cannot prove anything: conservatively "reachable"
+    return;
+  }
+  const StubSummary* stub = summary->stub(msg.subject_ref);
+  if (!stub) {
+    // Not in our snapshot: unknown state, stay conservative.
+    reply(true);
+    return;
+  }
+  if (stub->local_reach) {
+    reply(true);
+    return;
+  }
+  // Recurse into every scion converging on this stub that the trace has not
+  // visited yet. A dependency already on the path closes a loop: it cannot
+  // make the subject reachable by itself.
+  std::vector<RefId> deps;
+  for (RefId d : stub->scions_to) {
+    if (std::find(msg.visited.begin(), msg.visited.end(), d) == msg.visited.end()) {
+      deps.push_back(d);
+    }
+  }
+  if (deps.empty()) {
+    reply(false);
+    return;
+  }
+
+  const std::uint64_t key = next_node_key_++;
+  Node node;
+  node.trace_id = msg.trace_id;
+  node.parent_req = msg.req_id;
+  node.reply_to = src;
+  node.created_at = proc_.env_.now();
+
+  for (RefId d : deps) {
+    const ScionSummary* dep = summary->scion(d);
+    if (!dep || dep->holder == kNoProcess) continue;  // unknown: skip branch
+    const std::uint64_t child = next_req_++;
+    node.children.push_back(child);
+    child_to_node_.emplace(child, key);
+    ++node.pending;
+
+    BacktraceRequestMsg fwd;
+    fwd.trace_id = msg.trace_id;
+    fwd.req_id = child;
+    fwd.subject_ref = d;
+    fwd.visited = msg.visited;
+    fwd.visited.push_back(d);
+    fwd.depth = msg.depth + 1;
+    metrics_.backtrace_requests.add();
+    proc_.send(dep->holder, fwd);
+  }
+  if (node.pending == 0) {
+    reply(false);
+    return;
+  }
+  nodes_.emplace(key, std::move(node));
+}
+
+void BacktraceDetector::on_reply(ProcessId /*src*/, const BacktraceReplyMsg& msg) {
+  // Root of a trace?
+  if (traces_.contains(msg.req_id)) {
+    finish_trace(msg.req_id, msg.reachable);
+    return;
+  }
+  auto cit = child_to_node_.find(msg.req_id);
+  if (cit == child_to_node_.end()) return;  // late/duplicate reply
+  const std::uint64_t key = cit->second;
+  child_to_node_.erase(cit);
+  auto nit = nodes_.find(key);
+  if (nit == nodes_.end()) return;
+  Node& node = nit->second;
+  if (msg.reachable) {
+    reply_up(node, true);  // short-circuit: one live path suffices
+    drop_node(key);
+    return;
+  }
+  if (--node.pending == 0) {
+    reply_up(node, false);
+    drop_node(key);
+  }
+}
+
+void BacktraceDetector::reply_up(const Node& node, bool reachable) {
+  BacktraceReplyMsg out;
+  out.trace_id = node.trace_id;
+  out.req_id = node.parent_req;
+  out.reachable = reachable;
+  metrics_.backtrace_replies.add();
+  proc_.send(node.reply_to, out);
+}
+
+void BacktraceDetector::drop_node(std::uint64_t key) {
+  auto it = nodes_.find(key);
+  if (it == nodes_.end()) return;
+  for (std::uint64_t child : it->second.children) child_to_node_.erase(child);
+  nodes_.erase(it);
+}
+
+void BacktraceDetector::finish_trace(std::uint64_t req_id, bool reachable) {
+  auto it = traces_.find(req_id);
+  if (it == traces_.end()) return;
+  const Trace tr = it->second;
+  traces_.erase(it);
+  if (reachable) return;
+
+  // Trace proved the candidate unreachable; revalidate the live scion
+  // before acting (simplified stand-in for the baseline's transfer barrier).
+  ScionEntry* scion = proc_.scions_.find(tr.candidate);
+  if (!scion || scion->ic != tr.start_ic || scion->target_root_reachable) return;
+  ADGC_INFO("P" << proc_.id() << " backtrace deletes scion " << ref_to_string(tr.candidate));
+  proc_.scions_.erase(tr.candidate);
+  metrics_.backtrace_cycles_found.add();
+  metrics_.scions_deleted_cyclic.add();
+}
+
+void BacktraceDetector::expire(SimTime now, SimTime max_age) {
+  for (auto it = traces_.begin(); it != traces_.end();) {
+    if (it->second.started_at + max_age <= now) {
+      it = traces_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<std::uint64_t> stale;
+  for (const auto& [key, node] : nodes_) {
+    if (node.created_at + max_age <= now) stale.push_back(key);
+  }
+  for (std::uint64_t key : stale) drop_node(key);
+}
+
+}  // namespace adgc

@@ -1,0 +1,159 @@
+#include "src/baseline/global_trace.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/log.h"
+#include "src/rt/process.h"
+
+namespace adgc {
+
+GlobalTraceCollector::GlobalTraceCollector(Process& proc, Metrics& metrics)
+    : proc_(proc), metrics_(metrics) {}
+
+bool GlobalTraceCollector::start_epoch(std::vector<ProcessId> members,
+                                       SimTime poll_interval_us) {
+  if (coordinating_) return false;
+  coordinating_ = true;
+  members_ = std::move(members);
+  // The coordinator is always a participant.
+  if (std::find(members_.begin(), members_.end(), proc_.id()) == members_.end()) {
+    members_.push_back(proc_.id());
+  }
+  poll_interval_us_ = poll_interval_us;
+  poll_replies_.clear();
+  prev_sent_total_ = ~0ULL;
+  prev_processed_total_ = ~0ULL;
+
+  GtStartMsg msg;
+  msg.epoch = next_epoch_++;
+  msg.epoch_start = proc_.env_.now();
+  metrics_.gt_epochs_started.add();
+  for (ProcessId pid : members_) proc_.send(pid, msg);
+
+  const SimTime interval = poll_interval_us_;
+  proc_.env_.schedule(interval, [this] { send_poll(); });
+  return true;
+}
+
+void GlobalTraceCollector::send_poll() {
+  if (!coordinating_) return;
+  poll_replies_.clear();
+  GtPollMsg msg;
+  msg.epoch = epoch_;  // coordinator participates, so epoch_ is current
+  msg.poll_seq = ++poll_seq_;
+  for (ProcessId pid : members_) proc_.send(pid, msg);
+  proc_.env_.schedule(poll_interval_us_, [this] { send_poll(); });
+}
+
+void GlobalTraceCollector::on_start(ProcessId /*src*/, const GtStartMsg& msg) {
+  epoch_ = msg.epoch;
+  epoch_start_time_ = msg.epoch_start;
+  participating_ = true;
+  marked_objects_.clear();
+  marked_stubs_.clear();
+  marked_scions_.clear();
+  sent_ = 0;
+  processed_ = 0;
+  for (ObjectSeq root : proc_.heap_.roots()) local_mark(root);
+}
+
+void GlobalTraceCollector::local_mark(ObjectSeq seed) {
+  std::deque<ObjectSeq> frontier;
+  if (proc_.heap_.exists(seed) && marked_objects_.insert(seed).second) {
+    frontier.push_back(seed);
+  }
+  while (!frontier.empty()) {
+    const ObjectSeq cur = frontier.front();
+    frontier.pop_front();
+    const HeapObject* obj = proc_.heap_.find(cur);
+    if (!obj) continue;
+    for (ObjectSeq next : obj->local_fields) {
+      if (proc_.heap_.exists(next) && marked_objects_.insert(next).second) {
+        frontier.push_back(next);
+      }
+    }
+    for (RefId ref : obj->remote_fields) {
+      if (!marked_stubs_.insert(ref).second) continue;
+      const StubEntry* stub = proc_.stubs_.find(ref);
+      if (!stub) continue;
+      GtMarkMsg mark;
+      mark.epoch = epoch_;
+      mark.ref = ref;
+      ++sent_;
+      metrics_.gt_marks_sent.add();
+      proc_.send(stub->target.owner, mark);
+    }
+  }
+}
+
+void GlobalTraceCollector::on_mark(ProcessId /*src*/, const GtMarkMsg& msg) {
+  if (!participating_ || msg.epoch != epoch_) return;  // stale epoch
+  ++processed_;
+  if (!marked_scions_.insert(msg.ref).second) return;  // already marked
+  const ScionEntry* scion = proc_.scions_.find(msg.ref);
+  if (!scion) return;
+  local_mark(scion->target);
+}
+
+void GlobalTraceCollector::on_poll(ProcessId src, const GtPollMsg& msg) {
+  if (!participating_ || msg.epoch != epoch_) return;
+  GtStatusMsg status;
+  status.epoch = epoch_;
+  status.poll_seq = msg.poll_seq;
+  status.marks_sent = sent_;
+  status.marks_processed = processed_;
+  metrics_.gt_status_msgs.add();
+  proc_.send(src, status);
+}
+
+void GlobalTraceCollector::on_status(ProcessId src, const GtStatusMsg& msg) {
+  if (!coordinating_ || msg.poll_seq != poll_seq_) return;  // stale poll
+  poll_replies_[src] = msg;
+  if (poll_replies_.size() < members_.size()) return;
+
+  std::uint64_t sent_total = 0, processed_total = 0;
+  for (const auto& [pid, st] : poll_replies_) {
+    sent_total += st.marks_sent;
+    processed_total += st.marks_processed;
+  }
+  const bool balanced = sent_total == processed_total;
+  const bool stable =
+      sent_total == prev_sent_total_ && processed_total == prev_processed_total_;
+  prev_sent_total_ = sent_total;
+  prev_processed_total_ = processed_total;
+  if (!balanced || !stable) return;
+
+  // Terminated: the global trace is complete.
+  coordinating_ = false;
+  ++completed_;
+  GtFinishMsg fin;
+  fin.epoch = epoch_;
+  for (ProcessId pid : members_) proc_.send(pid, fin);
+  ADGC_INFO("P" << proc_.id() << " global trace epoch " << epoch_ << " terminated ("
+                << sent_total << " marks)");
+}
+
+void GlobalTraceCollector::on_finish(ProcessId /*src*/, const GtFinishMsg& msg) {
+  if (!participating_ || msg.epoch != epoch_) return;
+  participating_ = false;
+  std::vector<RefId> doomed;
+  for (const auto& [ref, scion] : proc_.scions_) {
+    if (marked_scions_.contains(ref)) continue;
+    // Conservative mutation guards: anything created or invoked during the
+    // epoch survives until the next epoch.
+    if (scion.created_at >= epoch_start_time_) continue;
+    if (scion.last_ic_change >= epoch_start_time_) continue;
+    doomed.push_back(ref);
+  }
+  for (RefId ref : doomed) {
+    proc_.scions_.erase(ref);
+    metrics_.gt_scions_deleted.add();
+  }
+  if (!doomed.empty()) {
+    ADGC_DEBUG("P" << proc_.id() << " global trace deleted " << doomed.size()
+                   << " scions");
+  }
+}
+
+}  // namespace adgc

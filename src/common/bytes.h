@@ -1,0 +1,118 @@
+// Little-endian binary buffer reader/writer used by the wire protocol and
+// by the binary snapshot serializer.
+//
+// The writer appends into a growable std::vector<std::byte>; the reader is a
+// non-owning view with bounds checking. Decoding failures throw
+// adgc::DecodeError: the simulated network may corrupt nothing, but tests
+// feed truncated buffers on purpose.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace adgc {
+
+/// Thrown when decoding runs past the end of a buffer or reads a value that
+/// violates a protocol invariant (e.g. absurd length prefix).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void object_id(ObjectId id) {
+    u32(id.owner);
+    u64(id.seq);
+  }
+
+  void detection_id(DetectionId id) {
+    u32(id.initiator);
+    u64(id.seq);
+  }
+
+  /// Length-prefixed string (u32 length).
+  void str(std::string_view s);
+
+  /// Length-prefixed blob (u32 length).
+  void bytes(std::span<const std::byte> b);
+
+  /// Raw append, no length prefix.
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::byte>& data() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  bool boolean() { return u8() != 0; }
+
+  ObjectId object_id() {
+    ObjectId id;
+    id.owner = u32();
+    id.seq = u64();
+    return id;
+  }
+
+  DetectionId detection_id() {
+    DetectionId id;
+    id.initiator = u32();
+    id.seq = u64();
+    return id;
+  }
+
+  std::string str();
+  std::vector<std::byte> bytes();
+
+  /// Number of bytes not yet consumed.
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return pos_ == buf_.size(); }
+
+  /// Requires that the whole buffer was consumed; guards against protocol
+  /// version skew going unnoticed.
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after decode");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (buf_.size() - pos_ < n) throw DecodeError("buffer underrun");
+  }
+
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace adgc

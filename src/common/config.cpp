@@ -1,0 +1,20 @@
+#include "src/common/config.h"
+
+#include <sstream>
+
+namespace adgc {
+
+std::string RuntimeConfig::describe() const {
+  std::ostringstream os;
+  os << "net{latency=" << net.min_latency_us << "+exp(" << net.mean_latency_us
+     << ")us, loss=" << net.loss_probability << ", dup=" << net.duplicate_probability
+     << ", fifo=" << (net.fifo_links ? "y" : "n") << "} "
+     << "proc{lgc=" << proc.lgc_period_us << "us, snap=" << proc.snapshot_period_us
+     << "us, scan=" << proc.dcda_scan_period_us
+     << "us, quarantine=" << proc.candidate_quarantine_us
+     << "us, dgc=" << (proc.dgc_enabled ? "on" : "off")
+     << ", dcda=" << (proc.dcda_enabled ? "on" : "off") << "} seed=" << seed;
+  return os.str();
+}
+
+}  // namespace adgc

@@ -1,0 +1,129 @@
+// Tunables for the runtime, the collectors and the simulated network.
+//
+// Times are in simulated microseconds (the deterministic simulator) or real
+// microseconds (the threaded runtime); both runtimes interpret the same
+// config.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adgc {
+
+using SimTime = std::uint64_t;  // microseconds
+
+/// Fault-injection and latency model of the network.
+struct NetworkConfig {
+  /// Mean one-way latency (exponentially distributed around this mean).
+  SimTime mean_latency_us = 500;
+  /// Fixed minimum latency added to every message.
+  SimTime min_latency_us = 50;
+  /// Probability a message is silently dropped.
+  double loss_probability = 0.0;
+  /// Probability a delivered message is delivered twice.
+  double duplicate_probability = 0.0;
+  /// When true, per-link FIFO order is preserved; when false, each message
+  /// gets an independent latency draw and may overtake earlier ones.
+  bool fifo_links = false;
+};
+
+/// Per-process collector scheduling and DCDA policy.
+struct ProcessConfig {
+  // --- acyclic DGC ---
+  /// Period between local GC runs (each run also emits NewSetStubs).
+  SimTime lgc_period_us = 20'000;
+  /// AddScion handshake retry interval (message-loss tolerance).
+  SimTime add_scion_retry_us = 5'000;
+  /// Max AddScion retries before the export is abandoned (test hook; in
+  /// production this would page an operator — losing the export leaks,
+  /// never corrupts).
+  int add_scion_max_retries = 20;
+
+  /// Grace period protecting a *pending* (never yet confirmed by its holder)
+  /// scion from NewSetStubs deletion while the reference may still be in
+  /// flight toward the holder.
+  SimTime scion_pending_grace_us = 300'000;
+  /// Owner-side expiry of never-confirmed scions, as a multiple of the
+  /// grace period. Covers references whose delivery was lost outright (the
+  /// would-be holder never learns of them, so no NewSetStubs will ever
+  /// mention them). Relies on the standard bounded-message-lifetime
+  /// assumption of reference-listing collectors.
+  std::uint32_t scion_pending_expiry_factor = 10;
+
+  // --- snapshots / summarization ---
+  /// Period between snapshot + summarization passes.
+  SimTime snapshot_period_us = 50'000;
+  /// Which summarizer builds the DCDA's view (all equivalent; kScc is the
+  /// production choice, kBfs the simple reference, kIncremental memoizes
+  /// per-scion traversals across snapshots — the paper's "lazily and
+  /// incrementally" mode, best on slowly-mutating heaps).
+  enum class SummarizerKind { kBfs, kScc, kIncremental };
+  SummarizerKind summarizer = SummarizerKind::kScc;
+  /// Round-trip every snapshot through the binary serializer (exercises the
+  /// paper's serialize-to-disk path and the codec; off for micro-benches).
+  bool roundtrip_snapshots = true;
+  /// When non-empty, every snapshot is also persisted here (the paper's
+  /// snapshots-on-disk, §2.2) with bounded retention, and the process can
+  /// recover its summarized view from disk after a restart.
+  std::string snapshot_dir;
+  /// Snapshot files kept per process when persisting.
+  std::size_t snapshot_retain = 2;
+
+  // --- DCDA ---
+  /// Whether the cycle detector runs at all (Table 1 baseline turns the
+  /// whole DGC off; ablations turn only the DCDA off).
+  bool dcda_enabled = true;
+  /// Period between candidate scans at each process.
+  SimTime dcda_scan_period_us = 60'000;
+  /// A scion becomes a cycle candidate only after its invocation counter has
+  /// been stable for this long (the paper's "not invoked for a certain
+  /// amount of time" heuristic).
+  SimTime candidate_quarantine_us = 40'000;
+  /// Ordering among eligible candidates when the in-flight budget can't
+  /// take them all (the paper defers candidate selection to the literature;
+  /// these are the classic options):
+  ///   kOldestQuiet    — longest-untouched first (paper's §2.1 intuition)
+  ///   kSmallestFanout — fewest outgoing stubs first (cheapest probes)
+  ///   kRoundRobin     — rotate the start point per scan (no starvation)
+  enum class CandidatePolicy { kOldestQuiet, kSmallestFanout, kRoundRobin };
+  CandidatePolicy candidate_policy = CandidatePolicy::kOldestQuiet;
+  /// Initiator-side detection timeout; a lost CDM merely delays collection.
+  SimTime detection_timeout_us = 2'000'000;
+  /// Hard cap on CDM hops (safety net against pathological graphs).
+  std::uint32_t cdm_hop_limit = 4096;
+  /// Max detections a process keeps in flight simultaneously.
+  std::uint32_t max_inflight_detections = 64;
+  /// §3.2 optimization: before forwarding a derived CDM, check the algebra
+  /// for unmatched invocation counters and abort locally instead of paying
+  /// another network hop ("race condition detection can be optimized if P1
+  /// analyzes unmatched counters in the algebra it is about to send").
+  /// Not required for safety; pure latency/traffic saving.
+  bool early_ic_check = true;
+  /// Bounded best-effort cache of recently processed CDMs (by content hash).
+  /// Duplicate CDMs — which arise combinatorially on densely mutually-linked
+  /// cycles, since the same algebra can be reached along many branch
+  /// orders — are dropped. Dropping is always safe (worst case a detection
+  /// times out and is retried). 0 disables the cache.
+  std::uint32_t cdm_dedup_cache_size = 4096;
+
+  // --- RMI ---
+  /// Whether remote invocations send a reply message (replies also bump
+  /// invocation counters, per the paper).
+  bool send_replies = true;
+
+  // --- instrumentation toggles (Table 1) ---
+  /// When false the runtime skips all stub/scion bookkeeping; models the
+  /// unmodified Rotor baseline of Table 1.
+  bool dgc_enabled = true;
+};
+
+/// Whole-system configuration.
+struct RuntimeConfig {
+  NetworkConfig net;
+  ProcessConfig proc;
+  std::uint64_t seed = 42;
+
+  std::string describe() const;
+};
+
+}  // namespace adgc

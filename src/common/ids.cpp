@@ -1,0 +1,26 @@
+#include "src/common/ids.h"
+
+#include <sstream>
+
+namespace adgc {
+
+std::string to_string(ObjectId id) {
+  std::ostringstream os;
+  os << "obj(" << id.owner << ":" << id.seq << ")";
+  return os.str();
+}
+
+std::string to_string(DetectionId id) {
+  std::ostringstream os;
+  os << "det(" << id.initiator << ":" << id.seq << ")";
+  return os.str();
+}
+
+std::string ref_to_string(RefId id) {
+  if (id == kNoRef) return "ref(none)";
+  std::ostringstream os;
+  os << "ref(" << ref_id_creator(id) << ":" << (id & ((RefId{1} << 40) - 1)) << ")";
+  return os.str();
+}
+
+}  // namespace adgc

@@ -1,0 +1,92 @@
+// Identifier types shared by every module of the ADGC library.
+//
+// Naming follows the paper (Veiga & Ferreira, IPDPS 2005):
+//  * a *process* is one participant in the distributed system;
+//  * an *object* lives in exactly one process (its owner);
+//  * a *remote reference* is a stub (holder side) / scion (owner side) pair;
+//    both sides share one RefId so that the DCDA algebra can cancel them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace adgc {
+
+/// Identifies one process (site) in the distributed system.
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = ~ProcessId{0};
+
+/// Per-process object sequence number. Never reused within a process.
+using ObjectSeq = std::uint64_t;
+
+/// Sentinel for "no object".
+inline constexpr ObjectSeq kNoObject = ~ObjectSeq{0};
+
+/// Globally unique object identity: owner process + per-process sequence.
+struct ObjectId {
+  ProcessId owner = kNoProcess;
+  ObjectSeq seq = kNoObject;
+
+  friend bool operator==(const ObjectId&, const ObjectId&) = default;
+  friend auto operator<=>(const ObjectId&, const ObjectId&) = default;
+};
+
+/// Globally unique identity of a remote reference; shared by the stub at the
+/// holder process and the scion at the owner process.
+///
+/// Layout: high 24 bits = creating process, low 40 bits = per-process counter.
+/// The split is an implementation detail; RefIds are opaque to callers.
+using RefId = std::uint64_t;
+
+inline constexpr RefId kNoRef = ~RefId{0};
+
+/// Builds a RefId unique across the system without coordination.
+constexpr RefId make_ref_id(ProcessId creator, std::uint64_t counter) {
+  return (static_cast<RefId>(creator) << 40) | (counter & ((RefId{1} << 40) - 1));
+}
+
+/// Extracts the creating process from a RefId (diagnostics only).
+constexpr ProcessId ref_id_creator(RefId r) {
+  return static_cast<ProcessId>(r >> 40);
+}
+
+/// Identifies one cycle detection (one candidate probe). The initiator
+/// allocates these; only the initiator keeps per-detection state.
+struct DetectionId {
+  ProcessId initiator = kNoProcess;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const DetectionId&, const DetectionId&) = default;
+  friend auto operator<=>(const DetectionId&, const DetectionId&) = default;
+};
+
+/// Human-readable renderings, used in logs and test failure messages.
+std::string to_string(ObjectId id);
+std::string to_string(DetectionId id);
+std::string ref_to_string(RefId id);
+
+}  // namespace adgc
+
+template <>
+struct std::hash<adgc::ObjectId> {
+  std::size_t operator()(const adgc::ObjectId& id) const noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(id.owner) << 48) ^ id.seq;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+template <>
+struct std::hash<adgc::DetectionId> {
+  std::size_t operator()(const adgc::DetectionId& id) const noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(id.initiator) << 40) ^ id.seq;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};

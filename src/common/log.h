@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The library is silent by default (tests and benches would drown); scenarios
+// and examples raise the level to watch the protocol run. Thread-safe: the
+// threaded runtime logs from several worker threads.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace adgc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide logger configuration.
+class Log {
+ public:
+  static void set_level(LogLevel lvl);
+  static LogLevel level();
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  /// Emits one line; used through the ADGC_LOG macro.
+  static void write(LogLevel lvl, const std::string& msg);
+
+ private:
+  static std::mutex mu_;
+};
+
+const char* to_string(LogLevel lvl);
+
+}  // namespace adgc
+
+// Streams only evaluate when the level is enabled.
+#define ADGC_LOG(lvl, expr)                                        \
+  do {                                                             \
+    if (::adgc::Log::enabled(lvl)) {                               \
+      std::ostringstream adgc_log_os;                              \
+      adgc_log_os << expr;                                         \
+      ::adgc::Log::write(lvl, adgc_log_os.str());                  \
+    }                                                              \
+  } while (0)
+
+#define ADGC_TRACE(expr) ADGC_LOG(::adgc::LogLevel::kTrace, expr)
+#define ADGC_DEBUG(expr) ADGC_LOG(::adgc::LogLevel::kDebug, expr)
+#define ADGC_INFO(expr) ADGC_LOG(::adgc::LogLevel::kInfo, expr)
+#define ADGC_WARN(expr) ADGC_LOG(::adgc::LogLevel::kWarn, expr)
+#define ADGC_ERROR(expr) ADGC_LOG(::adgc::LogLevel::kError, expr)

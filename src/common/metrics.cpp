@@ -1,0 +1,90 @@
+#include "src/common/metrics.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace adgc {
+
+namespace {
+
+// Single table driving merge/report/reset so a new counter only needs one
+// entry here besides the struct field.
+struct Field {
+  const char* name;
+  Counter Metrics::* member;
+};
+
+const std::vector<Field>& fields() {
+  static const std::vector<Field> kFields = {
+      {"invocations_sent", &Metrics::invocations_sent},
+      {"invocations_received", &Metrics::invocations_received},
+      {"invocations_dropped", &Metrics::invocations_dropped},
+      {"replies_sent", &Metrics::replies_sent},
+      {"replies_received", &Metrics::replies_received},
+      {"refs_exported", &Metrics::refs_exported},
+      {"refs_imported", &Metrics::refs_imported},
+      {"stubs_created", &Metrics::stubs_created},
+      {"stubs_deleted", &Metrics::stubs_deleted},
+      {"scions_created", &Metrics::scions_created},
+      {"scions_deleted_acyclic", &Metrics::scions_deleted_acyclic},
+      {"scions_deleted_cyclic", &Metrics::scions_deleted_cyclic},
+      {"new_set_stubs_sent", &Metrics::new_set_stubs_sent},
+      {"new_set_stubs_received", &Metrics::new_set_stubs_received},
+      {"add_scion_sent", &Metrics::add_scion_sent},
+      {"add_scion_retries", &Metrics::add_scion_retries},
+      {"lgc_runs", &Metrics::lgc_runs},
+      {"objects_allocated", &Metrics::objects_allocated},
+      {"objects_reclaimed", &Metrics::objects_reclaimed},
+      {"snapshots_taken", &Metrics::snapshots_taken},
+      {"snapshot_bytes", &Metrics::snapshot_bytes},
+      {"summarizations", &Metrics::summarizations},
+      {"detections_started", &Metrics::detections_started},
+      {"detections_cycle_found", &Metrics::detections_cycle_found},
+      {"detections_aborted_ic", &Metrics::detections_aborted_ic},
+      {"detections_aborted_local", &Metrics::detections_aborted_local},
+      {"detections_dropped_no_scion", &Metrics::detections_dropped_no_scion},
+      {"detections_dropped_dup", &Metrics::detections_dropped_dup},
+      {"cdms_deduped", &Metrics::cdms_deduped},
+      {"detections_timed_out", &Metrics::detections_timed_out},
+      {"cdms_sent", &Metrics::cdms_sent},
+      {"cdms_received", &Metrics::cdms_received},
+      {"cdm_bytes", &Metrics::cdm_bytes},
+      {"backtrace_requests", &Metrics::backtrace_requests},
+      {"backtrace_replies", &Metrics::backtrace_replies},
+      {"backtrace_cycles_found", &Metrics::backtrace_cycles_found},
+      {"gt_epochs_started", &Metrics::gt_epochs_started},
+      {"gt_marks_sent", &Metrics::gt_marks_sent},
+      {"gt_status_msgs", &Metrics::gt_status_msgs},
+      {"gt_scions_deleted", &Metrics::gt_scions_deleted},
+      {"messages_sent", &Metrics::messages_sent},
+      {"messages_delivered", &Metrics::messages_delivered},
+      {"messages_lost", &Metrics::messages_lost},
+      {"messages_duplicated", &Metrics::messages_duplicated},
+      {"bytes_sent", &Metrics::bytes_sent},
+  };
+  return kFields;
+}
+
+}  // namespace
+
+void Metrics::merge(const Metrics& other) {
+  for (const auto& f : fields()) {
+    (this->*f.member).add((other.*f.member).get());
+  }
+}
+
+std::string Metrics::report(const std::string& prefix) const {
+  std::ostringstream os;
+  for (const auto& f : fields()) {
+    const std::uint64_t v = (this->*f.member).get();
+    if (v != 0) os << prefix << f.name << " = " << v << "\n";
+  }
+  return os.str();
+}
+
+void Metrics::reset() {
+  for (const auto& f : fields()) (this->*f.member).reset();
+}
+
+}  // namespace adgc

@@ -1,0 +1,105 @@
+// Counters describing protocol activity.
+//
+// One Metrics instance per process plus one aggregate per runtime. Counters
+// are atomics so the threaded runtime can bump them without locks; in the
+// deterministic simulator they are simply uncontended.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace adgc {
+
+/// A relaxed-ordering counter. Copyable so Metrics snapshots can be taken.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter& other) : v_(other.get()) {}
+  Counter& operator=(const Counter& other) {
+    v_.store(other.get(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// All protocol counters. Extend freely; report() prints non-zero entries.
+struct Metrics {
+  // Mutator / RMI.
+  Counter invocations_sent;
+  Counter invocations_received;
+  Counter invocations_dropped;  // delivered for a ref with no live scion
+  Counter replies_sent;
+  Counter replies_received;
+  Counter refs_exported;
+  Counter refs_imported;
+
+  // Acyclic DGC.
+  Counter stubs_created;
+  Counter stubs_deleted;
+  Counter scions_created;
+  Counter scions_deleted_acyclic;   // via NewSetStubs
+  Counter scions_deleted_cyclic;    // via DCDA cycle-found
+  Counter new_set_stubs_sent;
+  Counter new_set_stubs_received;
+  Counter add_scion_sent;
+  Counter add_scion_retries;
+
+  // Local GC.
+  Counter lgc_runs;
+  Counter objects_allocated;
+  Counter objects_reclaimed;
+
+  // Snapshots.
+  Counter snapshots_taken;
+  Counter snapshot_bytes;
+  Counter summarizations;
+
+  // DCDA.
+  Counter detections_started;
+  Counter detections_cycle_found;
+  Counter detections_aborted_ic;        // invocation-counter mismatch
+  Counter detections_aborted_local;     // Local.Reach stub hit
+  Counter detections_dropped_no_scion;  // CDM to scion absent from snapshot
+  Counter detections_dropped_dup;       // derivation added nothing
+  Counter cdms_deduped;                 // identical CDM seen recently
+  Counter detections_timed_out;
+  Counter cdms_sent;
+  Counter cdms_received;
+  Counter cdm_bytes;
+
+  // Baseline (back-tracing) detector.
+  Counter backtrace_requests;
+  Counter backtrace_replies;
+  Counter backtrace_cycles_found;
+
+  // Baseline (global trace) collector.
+  Counter gt_epochs_started;
+  Counter gt_marks_sent;
+  Counter gt_status_msgs;
+  Counter gt_scions_deleted;
+
+  // Network.
+  Counter messages_sent;
+  Counter messages_delivered;
+  Counter messages_lost;
+  Counter messages_duplicated;
+  Counter bytes_sent;
+
+  /// Adds every counter of `other` into this (aggregation across processes).
+  void merge(const Metrics& other);
+
+  /// Multi-line human-readable dump of the non-zero counters.
+  std::string report(const std::string& prefix = "") const;
+
+  /// Zeroes every counter.
+  void reset();
+};
+
+}  // namespace adgc

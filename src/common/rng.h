@@ -1,0 +1,46 @@
+// Deterministic pseudo-random source.
+//
+// Everything stochastic in the library (network fault injection, workload
+// generation, heuristics jitter) draws from an explicitly seeded Rng so that
+// every test and benchmark run is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace adgc {
+
+/// SplitMix64-seeded xoshiro-style generator wrapped with convenience
+/// distributions. Cheap to copy; forkable for independent streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derives an independent stream; deterministic given this stream's state.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace adgc

@@ -1,0 +1,74 @@
+// CDM algebra (paper §3).
+//
+// An algebra is two sets of {RefId, IC} elements:
+//   source — compiled dependencies: every scion the CDM passed through plus
+//            every extra converging scion (ScionsTo) discovered on the way;
+//   target — every stub the CDM was forwarded along.
+//
+// *Matching* cancels elements present in both sets — a dependency (scion) is
+// resolved once the detection traversed the very reference it represents
+// (stub of the same RefId). Cancellation demands equal invocation counters:
+// a mismatch means the mutator used that reference between the two process
+// snapshots being combined, so the detection must abort (§3.2 safety rule ii).
+//
+// A cycle is proven when matching yields {{} → {}} on delivery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/net/message.h"
+
+namespace adgc {
+
+/// Sorted-unique element set keyed by RefId.
+class AlgebraSet {
+ public:
+  AlgebraSet() = default;
+  explicit AlgebraSet(std::vector<AlgebraElem> elems);
+
+  /// Outcome of inserting an element.
+  enum class Insert {
+    kAdded,     // new element
+    kPresent,   // identical element already there
+    kConflict,  // same RefId, different IC — mutator activity detected
+  };
+  Insert insert(AlgebraElem e);
+
+  bool contains(RefId ref) const;
+  const AlgebraElem* find(RefId ref) const;
+  std::size_t size() const { return elems_.size(); }
+  bool empty() const { return elems_.empty(); }
+  const std::vector<AlgebraElem>& elems() const { return elems_; }
+
+  friend bool operator==(const AlgebraSet&, const AlgebraSet&) = default;
+
+ private:
+  std::vector<AlgebraElem> elems_;  // sorted by ref
+};
+
+struct Algebra {
+  AlgebraSet source;
+  AlgebraSet target;
+
+  friend bool operator==(const Algebra&, const Algebra&) = default;
+
+  std::string to_string() const;
+};
+
+/// Result of matching an algebra.
+struct MatchResult {
+  AlgebraSet source;     // unresolved dependencies
+  AlgebraSet target;     // traversed stubs not (yet) depended upon
+  bool ic_conflict = false;  // same RefId in both sets with different ICs
+
+  bool cycle_found() const { return !ic_conflict && source.empty() && target.empty(); }
+};
+
+MatchResult match(const Algebra& alg);
+
+/// Wire conversion.
+Algebra algebra_from_msg(const CdmMsg& msg);
+void algebra_to_msg(const Algebra& alg, CdmMsg& msg);
+
+}  // namespace adgc

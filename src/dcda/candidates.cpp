@@ -1,0 +1,64 @@
+#include "src/dcda/candidates.h"
+
+#include <algorithm>
+
+namespace adgc {
+
+std::vector<RefId> select_candidates(const ScionTable& scions, const SummarizedGraph* snap,
+                                     const DetectionManager& manager,
+                                     const ProcessConfig& cfg, SimTime now,
+                                     std::uint64_t scan_seq) {
+  std::vector<RefId> out;
+  if (!snap) return out;
+  const std::size_t budget =
+      cfg.max_inflight_detections > manager.in_flight()
+          ? cfg.max_inflight_detections - manager.in_flight()
+          : 0;
+  if (budget == 0) return out;
+
+  // Eligibility (identical for every policy).
+  struct Eligible {
+    RefId ref;
+    SimTime last_ic_change;
+    std::size_t fanout;
+  };
+  std::vector<Eligible> eligible;
+  for (const auto& [ref, scion] : scions) {
+    if (scion.target_root_reachable) continue;
+    if (now < scion.last_ic_change + cfg.candidate_quarantine_us) continue;
+    const ScionSummary* sum = snap->scion(ref);
+    if (!sum || sum->ic != scion.ic) continue;
+    if (sum->stubs_from.empty()) continue;
+    if (manager.candidate_active(ref)) continue;
+    eligible.push_back({ref, scion.last_ic_change, sum->stubs_from.size()});
+  }
+  if (eligible.empty()) return out;
+
+  switch (cfg.candidate_policy) {
+    case ProcessConfig::CandidatePolicy::kOldestQuiet:
+      std::stable_sort(eligible.begin(), eligible.end(),
+                       [](const Eligible& a, const Eligible& b) {
+                         return a.last_ic_change < b.last_ic_change;
+                       });
+      break;
+    case ProcessConfig::CandidatePolicy::kSmallestFanout:
+      std::stable_sort(eligible.begin(), eligible.end(),
+                       [](const Eligible& a, const Eligible& b) {
+                         return a.fanout < b.fanout;
+                       });
+      break;
+    case ProcessConfig::CandidatePolicy::kRoundRobin: {
+      const std::size_t shift = static_cast<std::size_t>(scan_seq % eligible.size());
+      std::rotate(eligible.begin(), eligible.begin() + static_cast<std::ptrdiff_t>(shift),
+                  eligible.end());
+      break;
+    }
+  }
+
+  const std::size_t take = std::min(budget, eligible.size());
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(eligible[i].ref);
+  return out;
+}
+
+}  // namespace adgc

@@ -1,0 +1,16 @@
+// CDM helpers: pretty-printing and size accounting for metrics/benches.
+#pragma once
+
+#include <string>
+
+#include "src/net/message.h"
+
+namespace adgc {
+
+/// Human-readable rendering of a CDM (logging, test diagnostics).
+std::string describe(const CdmMsg& msg);
+
+/// Encoded size in bytes (what the wire pays for this CDM).
+std::size_t encoded_size(const CdmMsg& msg);
+
+}  // namespace adgc

@@ -1,0 +1,38 @@
+#include "src/dcda/detection_manager.h"
+
+namespace adgc {
+
+DetectionId DetectionManager::begin(RefId candidate, SimTime now, SimTime timeout) {
+  DetectionId id{pid_, next_seq_++};
+  Record rec;
+  rec.id = id;
+  rec.candidate = candidate;
+  rec.started_at = now;
+  rec.deadline = now + timeout;
+  records_.emplace(id, rec);
+  by_candidate_.emplace(candidate, id);
+  return id;
+}
+
+void DetectionManager::end(DetectionId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return;
+  by_candidate_.erase(it->second.candidate);
+  records_.erase(it);
+}
+
+std::vector<DetectionManager::Record> DetectionManager::expire(SimTime now) {
+  std::vector<Record> out;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.deadline <= now) {
+      out.push_back(it->second);
+      by_candidate_.erase(it->second.candidate);
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace adgc

@@ -1,0 +1,51 @@
+// Initiator-side detection bookkeeping.
+//
+// A key scalability property of the paper's DCDA: only the *initiator* of a
+// detection keeps any state about it — intermediate processes are stateless
+// (everything travels in the CDM). This manager is that state: one record
+// per in-flight detection, expired by timeout so that lost CDMs merely delay
+// collection.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+
+namespace adgc {
+
+class DetectionManager {
+ public:
+  explicit DetectionManager(ProcessId pid) : pid_(pid) {}
+
+  struct Record {
+    DetectionId id;
+    RefId candidate = kNoRef;
+    SimTime started_at = 0;
+    SimTime deadline = 0;
+  };
+
+  /// Starts a detection for `candidate` (must not have one active).
+  DetectionId begin(RefId candidate, SimTime now, SimTime timeout);
+
+  bool candidate_active(RefId candidate) const { return by_candidate_.contains(candidate); }
+  bool active(DetectionId id) const { return records_.contains(id); }
+  std::size_t in_flight() const { return records_.size(); }
+
+  /// Ends a detection (cycle found, aborted, or any terminal CDM outcome
+  /// observed at the initiator).
+  void end(DetectionId id);
+
+  /// Removes and returns every record whose deadline has passed.
+  std::vector<Record> expire(SimTime now);
+
+ private:
+  ProcessId pid_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<DetectionId, Record> records_;
+  std::unordered_map<RefId, DetectionId> by_candidate_;
+};
+
+}  // namespace adgc

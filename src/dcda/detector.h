@@ -1,0 +1,94 @@
+// The Distributed Cycle Detection Algorithm engine — the paper's core
+// contribution (§2, §3).
+//
+// One Detector per process. It works exclusively on the process's current
+// *summarized snapshot* (never the live heap), exchanges CDMs with the
+// detectors of other processes, and reports a proven cycle back to its
+// process through a hook so the live scion can be revalidated and deleted.
+//
+// Statelessness: only the initiator of a detection holds state about it
+// (the DetectionManager). Intermediate processes just transform CDMs.
+//
+// Termination/abort rules implemented (with the paper's numbering):
+//  rule 1  — CDM whose `via` reference has no scion in the current snapshot
+//            is discarded (snapshot not current enough / scion gone);
+//  rule 3  — snapshot stub IC (carried in the CDM) differing from the
+//            snapshot scion IC aborts the branch (mutation detected);
+//  §3 §3.1 — a followed stub with Local.Reach terminates that branch
+//            negatively; a derivation equal to the delivered algebra is
+//            dropped (loop/branch termination, steps 15 of §3.1);
+//  §3.2    — algebra matching with unequal ICs for one RefId aborts.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+#include "src/common/metrics.h"
+#include "src/dcda/algebra.h"
+#include "src/dcda/detection_manager.h"
+#include "src/snapshot/snapshot.h"
+
+namespace adgc {
+
+class Detector {
+ public:
+  struct Hooks {
+    /// Sends a CDM to the owner process of the stub being followed.
+    std::function<void(ProcessId dst, const CdmMsg& msg)> send_cdm;
+    /// A detection proved a cycle at this process: revalidate the live
+    /// scion `victim` (exists, IC == expected_ic, target not root-reachable)
+    /// and delete it. `victim` is the CDM's arrival scion — the empty match
+    /// may surface at any process of the cycle (paper §3.1 steps 25-26),
+    /// not only at the initiator.
+    std::function<void(DetectionId id, RefId victim, std::uint64_t expected_ic)>
+        cycle_found;
+  };
+
+  Detector(ProcessId pid, const ProcessConfig& cfg, Metrics& metrics, Hooks hooks);
+
+  /// Installs a fresh summarized snapshot (atomically replaces the old one).
+  void set_snapshot(std::shared_ptr<const SummarizedGraph> snap);
+  const SummarizedGraph* snapshot() const { return snap_.get(); }
+
+  /// Tries to start one detection for the given candidate scion.
+  /// Returns true if CDMs were actually sent.
+  bool start_detection(RefId candidate, SimTime now);
+
+  /// Handles a delivered CDM.
+  void on_cdm(const CdmMsg& msg, SimTime now);
+
+  /// Expires timed-out detections (message-loss tolerance).
+  void expire(SimTime now);
+
+  /// Marks a detection finished at the initiator (cycle acted upon).
+  void finish(DetectionId id) { manager_.end(id); }
+
+  DetectionManager& manager() { return manager_; }
+  const DetectionManager& manager() const { return manager_; }
+
+ private:
+  /// Follows every viable stub out of `scion`, deriving and sending CDMs.
+  /// `delivered` is the algebra as it arrived (dup-check baseline); `alg`
+  /// additionally contains the arrival scion. Returns #CDMs sent.
+  int expand(const CdmMsg& base, const ScionSummary& scion, const Algebra& delivered,
+             Algebra alg);
+
+  /// Returns true if this exact CDM content was processed recently
+  /// (bounded FIFO cache; duplicates are safe to drop).
+  bool seen_recently(const CdmMsg& msg);
+
+  ProcessId pid_;
+  const ProcessConfig& cfg_;
+  Metrics& metrics_;
+  Hooks hooks_;
+  DetectionManager manager_;
+  std::shared_ptr<const SummarizedGraph> snap_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::uint64_t> seen_order_;
+};
+
+}  // namespace adgc

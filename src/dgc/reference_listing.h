@@ -1,0 +1,37 @@
+// Acyclic distributed GC: the reference-listing protocol (Shapiro et al.).
+//
+// After each LGC run a process sends, to every process it has ever held a
+// reference into, the complete set of its surviving stubs toward that
+// process (NewSetStubs). The receiver deletes scions no longer backed by a
+// stub. Messages are cumulative and idempotent; a per-holder export sequence
+// rejects stale (reordered) messages, and pending scions (reference still in
+// flight toward its future holder) are protected by a grace period.
+#pragma once
+
+#include <set>
+
+#include "src/common/config.h"
+#include "src/dgc/scion_table.h"
+#include "src/dgc/stub_table.h"
+#include "src/net/message.h"
+
+namespace adgc {
+
+/// Builds the NewSetStubs payload for destination `owner`: all live stubs
+/// whose target lives at `owner` (pinned in-flight exports included —
+/// StubTable deletion already spares them, so they are simply present).
+NewSetStubsMsg build_new_set_stubs(const StubTable& stubs, ProcessId owner,
+                                   std::uint64_t export_seq);
+
+struct ApplyNssResult {
+  bool stale = false;          // rejected: export_seq not newer than last seen
+  std::size_t deleted = 0;     // scions removed
+  std::size_t confirmed = 0;   // pending scions confirmed by this message
+};
+
+/// Applies a NewSetStubs from `holder` to the local scion table.
+ApplyNssResult apply_new_set_stubs(ScionTable& scions, ProcessId holder,
+                                   const NewSetStubsMsg& msg, SimTime now,
+                                   SimTime pending_grace);
+
+}  // namespace adgc

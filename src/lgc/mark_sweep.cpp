@@ -1,0 +1,83 @@
+#include "src/lgc/mark_sweep.h"
+
+#include <vector>
+
+namespace adgc::lgc {
+
+std::unordered_set<ObjectSeq> reach_from(const Heap& heap,
+                                         const std::vector<ObjectSeq>& seeds) {
+  std::unordered_set<ObjectSeq> marked;
+  std::vector<ObjectSeq> stack;
+  for (ObjectSeq s : seeds) {
+    if (heap.exists(s) && marked.insert(s).second) stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    const ObjectSeq cur = stack.back();
+    stack.pop_back();
+    const HeapObject* obj = heap.find(cur);
+    for (ObjectSeq next : obj->local_fields) {
+      if (heap.exists(next) && marked.insert(next).second) stack.push_back(next);
+    }
+  }
+  return marked;
+}
+
+Result run(Heap& heap, StubTable& stubs, ScionTable& scions,
+           const std::set<RefId>& pinned_stubs, SimTime now) {
+  Result res;
+  res.objects_before = heap.size();
+
+  // Mark 1: from local roots only (defines Local.Reach and the candidate
+  // heuristic's "locally reachable" notion).
+  std::vector<ObjectSeq> root_seeds(heap.roots().begin(), heap.roots().end());
+  res.root_reachable = reach_from(heap, root_seeds);
+
+  // Mark 2: full liveness = roots ∪ scion targets.
+  std::vector<ObjectSeq> full_seeds = root_seeds;
+  for (const auto& [ref, scion] : scions) {
+    full_seeds.push_back(scion.target);
+  }
+  const std::unordered_set<ObjectSeq> live = reach_from(heap, full_seeds);
+
+  // Sweep.
+  std::vector<ObjectSeq> dead;
+  dead.reserve(heap.size() - live.size());
+  for (const auto& [seq, obj] : heap.objects()) {
+    if (!live.contains(seq)) dead.push_back(seq);
+  }
+  for (ObjectSeq seq : dead) heap.remove(seq);
+  res.objects_reclaimed = dead.size();
+
+  // Recompute stub holder counts and Local.Reach from the surviving heap.
+  for (auto& [ref, stub] : stubs) {
+    stub.holders = 0;
+    stub.local_reach = false;
+  }
+  for (const auto& [seq, obj] : heap.objects()) {
+    const bool from_root = res.root_reachable.contains(seq);
+    for (RefId ref : obj.remote_fields) {
+      if (StubEntry* stub = stubs.find(ref)) {
+        ++stub->holders;
+        stub->local_reach = stub->local_reach || from_root;
+      }
+    }
+  }
+
+  // Delete orphaned stubs (unless pinned by an in-flight export).
+  std::vector<RefId> doomed;
+  for (const auto& [ref, stub] : stubs) {
+    if (stub.holders == 0 && !pinned_stubs.contains(ref)) doomed.push_back(ref);
+  }
+  for (RefId ref : doomed) stubs.erase(ref);
+  res.stubs_deleted = doomed.size();
+
+  // Refresh the candidate heuristic's view of scion targets.
+  for (auto& [ref, scion] : scions) {
+    scion.target_root_reachable = res.root_reachable.contains(scion.target);
+    (void)now;
+  }
+
+  return res;
+}
+
+}  // namespace adgc::lgc

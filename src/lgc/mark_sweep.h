@@ -1,0 +1,43 @@
+// Local garbage collector: precise mark-sweep over one process's heap.
+//
+// Contract with the distributed collector (paper §4):
+//  * scions act as GC roots — objects protected by an incoming remote
+//    reference survive even when locally unreachable;
+//  * the LGC reports which stubs survived and whether they are reachable
+//    from *local* roots (the DCDA's Local.Reach bit), and whether each
+//    scion's target is root-reachable (the candidate heuristic);
+//  * stubs with no surviving holder are deleted — the caller then announces
+//    the new stub set via NewSetStubs.
+//
+// `pinned_stubs` are references currently being exported through the
+// scion-first handshake: they must survive (and count as live for
+// NewSetStubs) even if no heap object holds them anymore.
+#pragma once
+
+#include <set>
+#include <unordered_set>
+
+#include "src/common/config.h"
+#include "src/dgc/scion_table.h"
+#include "src/dgc/stub_table.h"
+#include "src/rt/heap.h"
+
+namespace adgc::lgc {
+
+struct Result {
+  std::size_t objects_before = 0;
+  std::size_t objects_reclaimed = 0;
+  std::size_t stubs_deleted = 0;
+  /// Objects reachable from local roots only (no scions), post-sweep.
+  std::unordered_set<ObjectSeq> root_reachable;
+};
+
+Result run(Heap& heap, StubTable& stubs, ScionTable& scions,
+           const std::set<RefId>& pinned_stubs, SimTime now);
+
+/// Mark phase only: the set of objects transitively reachable from `seeds`
+/// through local fields. Shared with the summarizer and the oracle.
+std::unordered_set<ObjectSeq> reach_from(const Heap& heap,
+                                         const std::vector<ObjectSeq>& seeds);
+
+}  // namespace adgc::lgc

@@ -1,0 +1,203 @@
+// Wire protocol of the distributed runtime.
+//
+// Every inter-process interaction is one of the payload structs below,
+// wrapped in an Envelope. Payloads are always round-tripped through the
+// binary codec (encode at send, decode at delivery) so byte counts are real
+// and codec bugs cannot hide behind in-memory shortcuts.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/ids.h"
+
+namespace adgc {
+
+/// A reference being exported inside an invocation: the exporter has already
+/// secured a scion for `ref` at `target.owner` (scion-first handshake), so
+/// the importer may install a stub immediately.
+struct ExportedRef {
+  RefId ref = kNoRef;
+  ObjectId target;
+
+  friend bool operator==(const ExportedRef&, const ExportedRef&) = default;
+};
+
+/// What a remote invocation does at the callee. Real systems run arbitrary
+/// code; the reproduction needs only the reachability-relevant effects.
+enum class InvokeEffect : std::uint8_t {
+  kTouch = 0,      // plain call: bumps invocation counters, nothing else
+  kPinRoot = 1,    // callee adds the invoked object to its local roots
+  kUnpinRoot = 2,  // callee removes the invoked object from its local roots
+  kStoreArgs = 3,  // callee stores the exported arg references in the object
+  kDropFields = 4, // callee clears the invoked object's outgoing references
+};
+
+/// Remote method invocation through the remote reference `ref`.
+struct InvokeMsg {
+  RefId ref = kNoRef;     // reference invoked through (stub at caller)
+  std::uint64_t ic = 0;   // piggy-backed invocation counter (post-increment)
+  ObjectId target;        // invoked object (the proxy's endpoint id)
+  ObjectId caller;        // invoking object (diagnostics)
+  InvokeEffect effect = InvokeEffect::kTouch;
+  std::vector<ExportedRef> args;
+  /// Marshalled by-value argument data (what real remoting spends most of
+  /// its wire bytes on); opaque to the runtime.
+  std::vector<std::byte> payload;
+  bool want_reply = true;
+  std::uint64_t call_id = 0;
+
+  friend bool operator==(const InvokeMsg&, const InvokeMsg&) = default;
+};
+
+/// Reply to an invocation; also bumps the reference's invocation counters.
+struct ReplyMsg {
+  RefId ref = kNoRef;
+  std::uint64_t ic = 0;
+  std::uint64_t call_id = 0;
+
+  friend bool operator==(const ReplyMsg&, const ReplyMsg&) = default;
+};
+
+/// Reference-listing message: the complete set of live stubs the sender
+/// holds toward the receiver, stamped with the sender's export sequence so
+/// references exported after the sender's LGC ran are not collected.
+struct NewSetStubsMsg {
+  std::uint64_t export_seq = 0;
+  std::vector<RefId> live;
+
+  friend bool operator==(const NewSetStubsMsg&, const NewSetStubsMsg&) = default;
+};
+
+/// Scion-first handshake: ask the owner of `target` to create a scion for a
+/// reference about to be handed to `holder`. Idempotent; retried until acked.
+struct AddScionMsg {
+  RefId ref = kNoRef;
+  ObjectSeq target_seq = kNoObject;
+  ProcessId holder = kNoProcess;
+  std::uint64_t handshake = 0;
+
+  friend bool operator==(const AddScionMsg&, const AddScionMsg&) = default;
+};
+
+struct AddScionAckMsg {
+  RefId ref = kNoRef;
+  std::uint64_t handshake = 0;
+
+  friend bool operator==(const AddScionAckMsg&, const AddScionAckMsg&) = default;
+};
+
+/// One element of a CDM algebra set: a remote reference plus the invocation
+/// counter it had in the snapshot that contributed it.
+struct AlgebraElem {
+  RefId ref = kNoRef;
+  std::uint64_t ic = 0;
+
+  friend bool operator==(const AlgebraElem&, const AlgebraElem&) = default;
+  friend auto operator<=>(const AlgebraElem&, const AlgebraElem&) = default;
+};
+
+/// Cycle Detection Message. `via` is the reference whose stub the CDM was
+/// forwarded along; delivery is to the scion of the same RefId.
+struct CdmMsg {
+  DetectionId detection;
+  RefId candidate = kNoRef;   // candidate scion at the initiator
+  RefId via = kNoRef;
+  std::uint64_t via_ic = 0;   // the stub's IC in the sender's snapshot
+  std::uint32_t hops = 0;
+  std::vector<AlgebraElem> source;  // dependencies (scions), sorted by ref
+  std::vector<AlgebraElem> target;  // traversed stubs, sorted by ref
+
+  friend bool operator==(const CdmMsg&, const CdmMsg&) = default;
+};
+
+/// Baseline (Maheshwari-Liskov style) distributed back-tracing request:
+/// "is the object behind scion `scion_ref` reachable, other than through the
+/// path already visited?". Synchronous chains of these model the related
+/// work's remote-procedure-call recursion.
+struct BacktraceRequestMsg {
+  std::uint64_t trace_id = 0;
+  std::uint64_t req_id = 0;     // allocated by the requester; echoed in reply
+  RefId subject_ref = kNoRef;   // stub at the receiver to examine
+  std::vector<RefId> visited;   // references already on the back-trace path
+  std::uint32_t depth = 0;
+
+  friend bool operator==(const BacktraceRequestMsg&, const BacktraceRequestMsg&) = default;
+};
+
+struct BacktraceReplyMsg {
+  std::uint64_t trace_id = 0;
+  std::uint64_t req_id = 0;
+  bool reachable = false;  // some local root reaches the subject
+
+  friend bool operator==(const BacktraceReplyMsg&, const BacktraceReplyMsg&) = default;
+};
+
+// --- Global-trace baseline (Lang/Queinnec/Piquer-style "GC the world") ---
+// A coordinator starts synchronized epochs; marks propagate along remote
+// references; a counting-based termination detection (sent == processed,
+// stable across two polls) ends the epoch; unmarked scions are collected.
+// The whole point of carrying this baseline: it needs EVERY process to
+// participate and synchronize — the cost the paper's DCDA avoids.
+
+struct GtStartMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t epoch_start = 0;  // coordinator clock (SimTime)
+
+  friend bool operator==(const GtStartMsg&, const GtStartMsg&) = default;
+};
+
+/// Mark request: "the object behind scion `ref` is globally reachable".
+struct GtMarkMsg {
+  std::uint64_t epoch = 0;
+  RefId ref = kNoRef;
+
+  friend bool operator==(const GtMarkMsg&, const GtMarkMsg&) = default;
+};
+
+struct GtPollMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t poll_seq = 0;
+
+  friend bool operator==(const GtPollMsg&, const GtPollMsg&) = default;
+};
+
+struct GtStatusMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t poll_seq = 0;
+  std::uint64_t marks_sent = 0;
+  std::uint64_t marks_processed = 0;
+
+  friend bool operator==(const GtStatusMsg&, const GtStatusMsg&) = default;
+};
+
+struct GtFinishMsg {
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const GtFinishMsg&, const GtFinishMsg&) = default;
+};
+
+using MessagePayload =
+    std::variant<InvokeMsg, ReplyMsg, NewSetStubsMsg, AddScionMsg, AddScionAckMsg,
+                 CdmMsg, BacktraceRequestMsg, BacktraceReplyMsg, GtStartMsg, GtMarkMsg,
+                 GtPollMsg, GtStatusMsg, GtFinishMsg>;
+
+/// A message in flight.
+struct Envelope {
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  std::vector<std::byte> bytes;  // encoded MessagePayload
+};
+
+/// Encodes a payload (type tag + body).
+std::vector<std::byte> encode_message(const MessagePayload& m);
+
+/// Decodes; throws DecodeError on malformed input.
+MessagePayload decode_message(std::span<const std::byte> bytes);
+
+/// Short human-readable tag for logging ("Invoke", "Cdm", ...).
+const char* message_kind(const MessagePayload& m);
+
+}  // namespace adgc

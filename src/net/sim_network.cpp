@@ -1,0 +1,62 @@
+#include "src/net/sim_network.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace adgc {
+
+namespace {
+std::uint64_t link_key(ProcessId a, ProcessId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+SimNetwork::SimNetwork(NetworkConfig cfg, Rng rng, Scheduler deliver, Metrics* metrics)
+    : cfg_(cfg), rng_(rng), deliver_(std::move(deliver)), metrics_(metrics) {}
+
+void SimNetwork::set_link_blocked(ProcessId a, ProcessId b, bool blocked) {
+  if (blocked) {
+    blocked_.insert({a, b});
+  } else {
+    blocked_.erase({a, b});
+  }
+}
+
+bool SimNetwork::link_blocked(ProcessId a, ProcessId b) const {
+  return blocked_.contains({a, b});
+}
+
+SimTime SimNetwork::draw_latency(SimTime now, ProcessId src, ProcessId dst) {
+  SimTime lat = cfg_.min_latency_us +
+                static_cast<SimTime>(rng_.exponential(static_cast<double>(cfg_.mean_latency_us)));
+  SimTime when = now + lat;
+  if (cfg_.fifo_links) {
+    SimTime& mark = link_watermark_[link_key(src, dst)];
+    when = std::max(when, mark + 1);
+    mark = when;
+  }
+  return when;
+}
+
+void SimNetwork::send(SimTime now, Envelope env) {
+  if (metrics_) {
+    metrics_->messages_sent.add();
+    metrics_->bytes_sent.add(env.bytes.size());
+  }
+  if (link_blocked(env.src, env.dst) || rng_.chance(cfg_.loss_probability)) {
+    if (metrics_) metrics_->messages_lost.add();
+    ADGC_TRACE("net: dropped " << env.src << "->" << env.dst);
+    return;
+  }
+  const bool duplicate = rng_.chance(cfg_.duplicate_probability);
+  const SimTime when = draw_latency(now, env.src, env.dst);
+  if (duplicate) {
+    if (metrics_) metrics_->messages_duplicated.add();
+    const SimTime when2 = draw_latency(now, env.src, env.dst);
+    deliver_(when2, env);  // copy
+  }
+  deliver_(when, std::move(env));
+}
+
+}  // namespace adgc

@@ -1,0 +1,53 @@
+// Deterministic simulated network with fault injection.
+//
+// The network itself does not own an event loop; the runtime hands it a
+// scheduler callback, and SimNetwork decides, per message, whether it is
+// lost, duplicated, and when each copy arrives. All randomness comes from
+// the injected Rng, so a run is a pure function of the seed.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/config.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/net/message.h"
+
+namespace adgc {
+
+class SimNetwork {
+ public:
+  /// `deliver(when, envelope)` schedules one delivery at absolute time `when`.
+  using Scheduler = std::function<void(SimTime when, Envelope env)>;
+
+  SimNetwork(NetworkConfig cfg, Rng rng, Scheduler deliver, Metrics* metrics);
+
+  /// Injects a message at absolute time `now`.
+  void send(SimTime now, Envelope env);
+
+  // --- dynamic fault injection (tests/benches flip these mid-run) ---
+  void set_loss_probability(double p) { cfg_.loss_probability = p; }
+  void set_duplicate_probability(double p) { cfg_.duplicate_probability = p; }
+
+  /// Blocks/unblocks the directed link a→b (network partition).
+  void set_link_blocked(ProcessId a, ProcessId b, bool blocked);
+  bool link_blocked(ProcessId a, ProcessId b) const;
+
+  const NetworkConfig& config() const { return cfg_; }
+
+ private:
+  SimTime draw_latency(SimTime now, ProcessId src, ProcessId dst);
+
+  NetworkConfig cfg_;
+  Rng rng_;
+  Scheduler deliver_;
+  Metrics* metrics_;
+  std::set<std::pair<ProcessId, ProcessId>> blocked_;
+  // Per-link watermark used when fifo_links is on.
+  std::unordered_map<std::uint64_t, SimTime> link_watermark_;
+};
+
+}  // namespace adgc

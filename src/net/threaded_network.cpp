@@ -1,0 +1,74 @@
+#include "src/net/threaded_network.h"
+
+#include <chrono>
+
+namespace adgc {
+
+ThreadedNetwork::ThreadedNetwork(std::size_t num_processes, NetworkConfig cfg,
+                                 std::uint64_t seed, Metrics* metrics)
+    : cfg_(cfg), metrics_(metrics), rng_(seed) {
+  boxes_.reserve(num_processes);
+  for (std::size_t i = 0; i < num_processes; ++i) {
+    boxes_.push_back(std::make_unique<Box>());
+  }
+}
+
+void ThreadedNetwork::enqueue(ProcessId pid, WorkItem item) {
+  Box& box = *boxes_.at(pid);
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.q.push_back(std::move(item));
+  }
+  box.cv.notify_one();
+}
+
+void ThreadedNetwork::send(Envelope env) {
+  if (metrics_) {
+    metrics_->messages_sent.add();
+    metrics_->bytes_sent.add(env.bytes.size());
+  }
+  bool lost = false;
+  bool dup = false;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    lost = rng_.chance(cfg_.loss_probability);
+    if (!lost) dup = rng_.chance(cfg_.duplicate_probability);
+  }
+  if (lost) {
+    if (metrics_) metrics_->messages_lost.add();
+    return;
+  }
+  const ProcessId dst = env.dst;
+  if (dup) {
+    if (metrics_) metrics_->messages_duplicated.add();
+    enqueue(dst, env);  // copy
+  }
+  enqueue(dst, std::move(env));
+}
+
+void ThreadedNetwork::post(ProcessId pid, std::function<void()> fn) {
+  enqueue(pid, std::move(fn));
+}
+
+std::optional<WorkItem> ThreadedNetwork::poll(ProcessId pid, SimTime wait_us) {
+  Box& box = *boxes_.at(pid);
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait_for(lock, std::chrono::microseconds(wait_us),
+                  [&] { return !box.q.empty() || shutdown_.load(); });
+  if (box.q.empty()) return std::nullopt;
+  WorkItem item = std::move(box.q.front());
+  box.q.pop_front();
+  return item;
+}
+
+void ThreadedNetwork::shutdown() {
+  shutdown_.store(true);
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+bool ThreadedNetwork::shut_down() const { return shutdown_.load(); }
+
+}  // namespace adgc

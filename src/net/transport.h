@@ -1,0 +1,42 @@
+// Environment a Process runs against.
+//
+// A Process is an actor: all of its state is confined to one logical thread
+// of execution. Everything it needs from the outside world — the clock,
+// message sending, timers, randomness — comes through Env. The deterministic
+// simulator (rt/runtime.h) and the real multi-threaded runtime
+// (rt/threaded_runtime.h) provide the two implementations.
+#pragma once
+
+#include <functional>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/net/message.h"
+
+namespace adgc {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Current time in microseconds (simulated or wall-clock).
+  virtual SimTime now() const = 0;
+
+  /// Sends a payload from this process to `dst`. Asynchronous, may be lost,
+  /// duplicated or reordered depending on the network configuration.
+  virtual void send(ProcessId dst, const MessagePayload& msg) = 0;
+
+  /// Runs `fn` on this process's execution context after `delay`.
+  /// Timers fire at-least-once, in time order w.r.t. other local events.
+  virtual void schedule(SimTime delay, std::function<void()> fn) = 0;
+
+  /// Deterministic per-process random stream.
+  virtual Rng& rng() = 0;
+
+  /// This process's metric counters.
+  virtual Metrics& metrics() = 0;
+};
+
+}  // namespace adgc

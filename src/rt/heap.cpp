@@ -1,0 +1,58 @@
+#include "src/rt/heap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adgc {
+
+ObjectSeq Heap::allocate(std::size_t payload_bytes) {
+  const ObjectSeq seq = next_seq_++;
+  HeapObject obj;
+  obj.seq = seq;
+  obj.payload.assign(payload_bytes, std::byte{0});
+  objects_.emplace(seq, std::move(obj));
+  return seq;
+}
+
+HeapObject* Heap::find(ObjectSeq seq) {
+  auto it = objects_.find(seq);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const HeapObject* Heap::find(ObjectSeq seq) const {
+  auto it = objects_.find(seq);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+void Heap::add_local_field(ObjectSeq from, ObjectSeq to) {
+  HeapObject* obj = find(from);
+  if (!obj) throw std::invalid_argument("add_local_field: no such source object");
+  if (!exists(to)) throw std::invalid_argument("add_local_field: no such target object");
+  obj->local_fields.push_back(to);
+}
+
+bool Heap::remove_local_field(ObjectSeq from, ObjectSeq to) {
+  HeapObject* obj = find(from);
+  if (!obj) return false;
+  auto it = std::find(obj->local_fields.begin(), obj->local_fields.end(), to);
+  if (it == obj->local_fields.end()) return false;
+  obj->local_fields.erase(it);
+  return true;
+}
+
+void Heap::add_remote_field(ObjectSeq from, RefId ref) {
+  HeapObject* obj = find(from);
+  if (!obj) throw std::invalid_argument("add_remote_field: no such source object");
+  obj->remote_fields.push_back(ref);
+}
+
+bool Heap::remove_remote_field(ObjectSeq from, RefId ref) {
+  HeapObject* obj = find(from);
+  if (!obj) return false;
+  auto it = std::find(obj->remote_fields.begin(), obj->remote_fields.end(), ref);
+  if (it == obj->remote_fields.end()) return false;
+  obj->remote_fields.erase(it);
+  return true;
+}
+
+}  // namespace adgc

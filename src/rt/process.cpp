@@ -1,0 +1,545 @@
+#include "src/rt/process.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/baseline/backtrace_detector.h"
+#include "src/baseline/global_trace.h"
+#include "src/dcda/candidates.h"
+#include "src/lgc/mark_sweep.h"
+#include "src/snapshot/snapshot.h"
+
+namespace adgc {
+
+Process::Process(ProcessId pid, const ProcessConfig& cfg, Env& env)
+    : pid_(pid), cfg_(cfg), env_(env) {
+  serializer_ = std::make_unique<BinarySerializer>();
+  switch (cfg_.summarizer) {
+    case ProcessConfig::SummarizerKind::kScc:
+      summarizer_ = std::make_unique<SccSummarizer>();
+      break;
+    case ProcessConfig::SummarizerKind::kIncremental:
+      summarizer_ = std::make_unique<IncrementalSummarizer>();
+      break;
+    case ProcessConfig::SummarizerKind::kBfs:
+      summarizer_ = std::make_unique<BfsSummarizer>();
+      break;
+  }
+  Detector::Hooks hooks;
+  hooks.send_cdm = [this](ProcessId dst, const CdmMsg& msg) { send(dst, msg); };
+  hooks.cycle_found = [this](DetectionId id, RefId candidate, std::uint64_t expected_ic) {
+    on_cycle_found(id, candidate, expected_ic);
+  };
+  detector_ = std::make_unique<Detector>(pid_, cfg_, env_.metrics(), std::move(hooks));
+  backtracer_ = std::make_unique<BacktraceDetector>(*this, env_.metrics());
+  gtrace_ = std::make_unique<GlobalTraceCollector>(*this, env_.metrics());
+  if (!cfg_.snapshot_dir.empty()) {
+    store_ = std::make_unique<SnapshotStore>(cfg_.snapshot_dir, cfg_.snapshot_retain);
+  }
+}
+
+Process::~Process() = default;
+
+void Process::start() {
+  if (started_) return;
+  started_ = true;
+  // De-phase the periodic tasks across processes (deterministically).
+  env_.schedule(env_.rng().below(cfg_.lgc_period_us) + 1, [this] { lgc_tick(); });
+  env_.schedule(env_.rng().below(cfg_.snapshot_period_us) + 1, [this] { snapshot_tick(); });
+  if (cfg_.dcda_enabled) {
+    env_.schedule(env_.rng().below(cfg_.dcda_scan_period_us) + 1, [this] { dcda_tick(); });
+  }
+}
+
+void Process::lgc_tick() {
+  run_lgc();
+  env_.schedule(cfg_.lgc_period_us, [this] { lgc_tick(); });
+}
+
+void Process::snapshot_tick() {
+  take_snapshot();
+  env_.schedule(cfg_.snapshot_period_us, [this] { snapshot_tick(); });
+}
+
+void Process::dcda_tick() {
+  run_dcda_scan();
+  env_.schedule(cfg_.dcda_scan_period_us, [this] { dcda_tick(); });
+}
+
+void Process::send(ProcessId dst, const MessagePayload& msg) { env_.send(dst, msg); }
+
+// ---------------------------------------------------------------- mutator
+
+ObjectSeq Process::create_object(std::size_t payload_bytes) {
+  metrics().objects_allocated.add();
+  return heap_.allocate(payload_bytes);
+}
+
+void Process::add_root(ObjectSeq seq) { heap_.add_root(seq); }
+void Process::remove_root(ObjectSeq seq) { heap_.remove_root(seq); }
+
+void Process::add_local_ref(ObjectSeq from, ObjectSeq to) { heap_.add_local_field(from, to); }
+
+void Process::remove_local_ref(ObjectSeq from, ObjectSeq to) {
+  heap_.remove_local_field(from, to);
+}
+
+void Process::remove_remote_ref(ObjectSeq from, RefId ref) {
+  if (heap_.remove_remote_field(from, ref)) {
+    if (StubEntry* stub = stubs_.find(ref); stub && stub->holders > 0) --stub->holders;
+  }
+}
+
+std::uint64_t Process::invoke(ObjectSeq caller, RefId via, InvokeEffect effect,
+                              std::vector<ArgRef> args, bool want_reply,
+                              std::size_t payload_bytes) {
+  StubEntry* stub = stubs_.find(via);
+  if (!stub) throw std::invalid_argument("invoke: unknown reference");
+
+  PendingInvoke inv;
+  inv.call_id = next_call_id_++;
+  inv.caller = caller;
+  inv.via = via;
+  inv.effect = effect;
+  inv.payload_bytes = payload_bytes;
+  inv.want_reply = want_reply;
+  const ProcessId receiver = stub->target.owner;
+
+  for (const ArgRef& arg : args) {
+    if (arg.local != kNoObject) {
+      inv.args.push_back(export_own_object(arg.local, receiver));
+    } else {
+      std::uint64_t hs = 0;
+      inv.args.push_back(begin_third_party_export(arg.remote, receiver, inv.call_id, &hs));
+      if (hs != 0) inv.waiting.insert(hs);
+    }
+  }
+
+  const std::uint64_t id = inv.call_id;
+  if (inv.waiting.empty()) {
+    really_send_invoke(std::move(inv));
+  } else {
+    pending_invokes_.emplace(id, std::move(inv));
+  }
+  return id;
+}
+
+// ------------------------------------------------------------------ export
+
+ExportedRef Process::export_own_object(ObjectSeq target, ProcessId holder) {
+  if (!heap_.exists(target)) throw std::invalid_argument("export: no such object");
+  ExportedRef out;
+  out.ref = fresh_ref_id();
+  out.target = ObjectId{pid_, target};
+  if (cfg_.dgc_enabled) {
+    scions_.ensure(out.ref, holder, target, env_.now());
+    metrics().scions_created.add();
+  }
+  metrics().refs_exported.add();
+  return out;
+}
+
+ExportedRef Process::begin_third_party_export(RefId held, ProcessId receiver,
+                                              std::uint64_t call_id,
+                                              std::uint64_t* handshake_out) {
+  *handshake_out = 0;
+  StubEntry* stub = stubs_.find(held);
+  if (!stub) throw std::invalid_argument("export: reference not held");
+  metrics().refs_exported.add();
+
+  ExportedRef out;
+  out.target = stub->target;
+  if (stub->target.owner == receiver) {
+    // The receiver owns the target: it will install a plain local field.
+    out.ref = kNoRef;
+    return out;
+  }
+  out.ref = fresh_ref_id();
+  if (!cfg_.dgc_enabled) return out;
+
+  Handshake hs;
+  hs.id = next_handshake_++;
+  hs.call_id = call_id;
+  hs.owner = stub->target.owner;
+  hs.pinned_stub = held;
+  hs.msg.ref = out.ref;
+  hs.msg.target_seq = stub->target.seq;
+  hs.msg.holder = receiver;
+  hs.msg.handshake = hs.id;
+  pin_stub(held);
+  send(hs.owner, hs.msg);
+  metrics().add_scion_sent.add();
+  const std::uint64_t id = hs.id;
+  handshakes_.emplace(id, std::move(hs));
+  env_.schedule(cfg_.add_scion_retry_us, [this, id] { retry_handshake(id); });
+  *handshake_out = id;
+  return out;
+}
+
+void Process::retry_handshake(std::uint64_t id) {
+  auto it = handshakes_.find(id);
+  if (it == handshakes_.end()) return;  // already acked
+  Handshake& hs = it->second;
+  if (++hs.retries > cfg_.add_scion_max_retries) {
+    ADGC_ERROR("P" << pid_ << " abandoning export after " << hs.retries
+                   << " AddScion retries (ref " << ref_to_string(hs.msg.ref) << ")");
+    const std::uint64_t call_id = hs.call_id;
+    unpin_stub(hs.pinned_stub);
+    handshakes_.erase(it);
+    abandon_invoke(call_id);
+    return;
+  }
+  metrics().add_scion_retries.add();
+  send(hs.owner, hs.msg);
+  env_.schedule(cfg_.add_scion_retry_us, [this, id] { retry_handshake(id); });
+}
+
+void Process::abandon_invoke(std::uint64_t call_id) {
+  auto it = pending_invokes_.find(call_id);
+  if (it == pending_invokes_.end()) return;
+  // Tear down any other handshakes of the same call.
+  for (std::uint64_t hs_id : it->second.waiting) {
+    auto hit = handshakes_.find(hs_id);
+    if (hit != handshakes_.end()) {
+      unpin_stub(hit->second.pinned_stub);
+      handshakes_.erase(hit);
+    }
+  }
+  pending_invokes_.erase(it);
+}
+
+void Process::maybe_flush_invoke(std::uint64_t call_id) {
+  auto it = pending_invokes_.find(call_id);
+  if (it == pending_invokes_.end() || !it->second.waiting.empty()) return;
+  PendingInvoke inv = std::move(it->second);
+  pending_invokes_.erase(it);
+  really_send_invoke(std::move(inv));
+}
+
+void Process::really_send_invoke(PendingInvoke&& inv) {
+  StubEntry* stub = stubs_.find(inv.via);
+  if (!stub) {
+    ADGC_WARN("P" << pid_ << " dropping invocation: reference vanished");
+    return;
+  }
+  InvokeMsg msg;
+  msg.ref = inv.via;
+  if (cfg_.dgc_enabled) {
+    ++stub->ic;
+  }
+  msg.ic = stub->ic;
+  msg.target = stub->target;
+  msg.caller = ObjectId{pid_, inv.caller};
+  msg.effect = inv.effect;
+  msg.args = std::move(inv.args);
+  msg.payload.assign(inv.payload_bytes, std::byte{0});
+  msg.want_reply = inv.want_reply && cfg_.send_replies;
+  msg.call_id = inv.call_id;
+  metrics().invocations_sent.add();
+  send(stub->target.owner, msg);
+}
+
+RefId Process::install_ref(ObjectSeq from, const ExportedRef& ref) {
+  if (ref.target.owner == pid_) {
+    heap_.add_local_field(from, ref.target.seq);
+    return kNoRef;
+  }
+  const bool fresh = !stubs_.contains(ref.ref);
+  StubEntry& stub = stubs_.ensure(ref.ref, ref.target, env_.now());
+  if (fresh) {
+    metrics().stubs_created.add();
+    contacts_.insert(ref.target.owner);
+  }
+  ++stub.holders;
+  heap_.add_remote_field(from, ref.ref);
+  metrics().refs_imported.add();
+  return ref.ref;
+}
+
+void Process::hold_existing_ref(ObjectSeq from, RefId ref) {
+  StubEntry* stub = stubs_.find(ref);
+  if (!stub) throw std::invalid_argument("hold_existing_ref: no such stub");
+  ++stub->holders;
+  heap_.add_remote_field(from, ref);
+}
+
+void Process::pin_stub(RefId ref) {
+  if (++pinned_[ref] == 1) pinned_set_.insert(ref);
+}
+
+void Process::unpin_stub(RefId ref) {
+  auto it = pinned_.find(ref);
+  if (it == pinned_.end()) return;
+  if (--it->second == 0) {
+    pinned_.erase(it);
+    pinned_set_.erase(ref);
+  }
+}
+
+// --------------------------------------------------------------- delivery
+
+void Process::deliver(const Envelope& envelope) {
+  MessagePayload payload;
+  try {
+    payload = decode_message(envelope.bytes);
+  } catch (const DecodeError& e) {
+    ADGC_ERROR("P" << pid_ << " undecodable message from " << envelope.src << ": "
+                   << e.what());
+    return;
+  }
+  const ProcessId src = envelope.src;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, InvokeMsg>) {
+          on_invoke(src, msg);
+        } else if constexpr (std::is_same_v<T, ReplyMsg>) {
+          on_reply(src, msg);
+        } else if constexpr (std::is_same_v<T, NewSetStubsMsg>) {
+          on_new_set_stubs(src, msg);
+        } else if constexpr (std::is_same_v<T, AddScionMsg>) {
+          on_add_scion(src, msg);
+        } else if constexpr (std::is_same_v<T, AddScionAckMsg>) {
+          on_add_scion_ack(src, msg);
+        } else if constexpr (std::is_same_v<T, CdmMsg>) {
+          on_cdm(src, msg);
+        } else if constexpr (std::is_same_v<T, BacktraceRequestMsg>) {
+          backtracer_->on_request(src, msg);
+        } else if constexpr (std::is_same_v<T, BacktraceReplyMsg>) {
+          backtracer_->on_reply(src, msg);
+        } else if constexpr (std::is_same_v<T, GtStartMsg>) {
+          gtrace_->on_start(src, msg);
+        } else if constexpr (std::is_same_v<T, GtMarkMsg>) {
+          gtrace_->on_mark(src, msg);
+        } else if constexpr (std::is_same_v<T, GtPollMsg>) {
+          gtrace_->on_poll(src, msg);
+        } else if constexpr (std::is_same_v<T, GtStatusMsg>) {
+          gtrace_->on_status(src, msg);
+        } else if constexpr (std::is_same_v<T, GtFinishMsg>) {
+          gtrace_->on_finish(src, msg);
+        }
+      },
+      payload);
+}
+
+void Process::on_invoke(ProcessId src, const InvokeMsg& msg) {
+  metrics().invocations_received.add();
+  ScionEntry* scion = nullptr;
+  if (cfg_.dgc_enabled) {
+    scion = scions_.find(msg.ref);
+    if (!scion) {
+      // The scion was collected: the reference was dead. Never resurrect.
+      metrics().invocations_dropped.add();
+      ADGC_WARN("P" << pid_ << " invocation for collected scion "
+                    << ref_to_string(msg.ref) << " from " << src);
+      return;
+    }
+    if (msg.ic > scion->ic) {
+      scion->ic = msg.ic;
+      scion->last_ic_change = env_.now();
+    }
+    scion->confirmed = true;
+  }
+
+  const ObjectSeq target_seq = scion ? scion->target : msg.target.seq;
+  HeapObject* obj = heap_.find(target_seq);
+  if (!obj) {
+    metrics().invocations_dropped.add();
+    ADGC_WARN("P" << pid_ << " invocation for missing object " << target_seq);
+    return;
+  }
+  obj->last_access = env_.now();
+
+  switch (msg.effect) {
+    case InvokeEffect::kTouch:
+      break;
+    case InvokeEffect::kPinRoot:
+      heap_.add_root(target_seq);
+      break;
+    case InvokeEffect::kUnpinRoot:
+      heap_.remove_root(target_seq);
+      break;
+    case InvokeEffect::kStoreArgs:
+      for (const ExportedRef& arg : msg.args) {
+        install_ref(target_seq, arg);
+      }
+      break;
+    case InvokeEffect::kDropFields: {
+      obj->local_fields.clear();
+      for (RefId ref : obj->remote_fields) {
+        if (StubEntry* stub = stubs_.find(ref); stub && stub->holders > 0) --stub->holders;
+      }
+      obj->remote_fields.clear();
+      break;
+    }
+  }
+
+  if (msg.want_reply && cfg_.send_replies) {
+    ReplyMsg reply;
+    reply.ref = msg.ref;
+    reply.call_id = msg.call_id;
+    if (scion) {
+      ++scion->ic;
+      scion->last_ic_change = env_.now();
+      reply.ic = scion->ic;
+    }
+    metrics().replies_sent.add();
+    send(src, reply);
+  }
+}
+
+void Process::on_reply(ProcessId /*src*/, const ReplyMsg& msg) {
+  metrics().replies_received.add();
+  if (!cfg_.dgc_enabled) return;
+  if (StubEntry* stub = stubs_.find(msg.ref); stub && msg.ic > stub->ic) {
+    stub->ic = msg.ic;
+  }
+}
+
+void Process::on_new_set_stubs(ProcessId src, const NewSetStubsMsg& msg) {
+  metrics().new_set_stubs_received.add();
+  const ApplyNssResult res =
+      apply_new_set_stubs(scions_, src, msg, env_.now(), cfg_.scion_pending_grace_us);
+  metrics().scions_deleted_acyclic.add(res.deleted);
+}
+
+void Process::on_add_scion(ProcessId src, const AddScionMsg& msg) {
+  if (!heap_.exists(msg.target_seq)) {
+    // The object is gone; the exporter's reference was already dead. No ack:
+    // the exporter abandons after its retries.
+    ADGC_WARN("P" << pid_ << " AddScion for missing object " << msg.target_seq);
+    return;
+  }
+  const bool fresh = !scions_.contains(msg.ref);
+  scions_.ensure(msg.ref, msg.holder, msg.target_seq, env_.now());
+  if (fresh) metrics().scions_created.add();
+  AddScionAckMsg ack;
+  ack.ref = msg.ref;
+  ack.handshake = msg.handshake;
+  send(src, ack);
+}
+
+void Process::on_add_scion_ack(ProcessId /*src*/, const AddScionAckMsg& msg) {
+  auto it = handshakes_.find(msg.handshake);
+  if (it == handshakes_.end()) return;  // duplicate ack
+  const std::uint64_t call_id = it->second.call_id;
+  unpin_stub(it->second.pinned_stub);
+  handshakes_.erase(it);
+  auto pit = pending_invokes_.find(call_id);
+  if (pit != pending_invokes_.end()) {
+    pit->second.waiting.erase(msg.handshake);
+    maybe_flush_invoke(call_id);
+  }
+}
+
+void Process::on_cdm(ProcessId /*src*/, const CdmMsg& msg) {
+  if (!cfg_.dcda_enabled) return;
+  detector_->on_cdm(msg, env_.now());
+}
+
+void Process::on_cycle_found(DetectionId id, RefId candidate, std::uint64_t expected_ic) {
+  detector_->finish(id);
+  ScionEntry* scion = scions_.find(candidate);
+  if (!scion) return;  // already collected (e.g. parallel detection)
+  if (scion->ic != expected_ic) {
+    // Last-moment revalidation: the mutator used the reference since the
+    // snapshot the detection was based on.
+    metrics().detections_aborted_ic.add();
+    return;
+  }
+  if (scion->target_root_reachable) {
+    // The local GC has since seen the target from a root; be conservative.
+    metrics().detections_aborted_local.add();
+    return;
+  }
+  ADGC_INFO("P" << pid_ << " deleting scion " << ref_to_string(candidate)
+                << " (distributed cycle)");
+  scions_.erase(candidate);
+  metrics().detections_cycle_found.add();
+  metrics().scions_deleted_cyclic.add();
+}
+
+// -------------------------------------------------------------- collectors
+
+void Process::run_lgc() {
+  if (cfg_.dgc_enabled) {
+    // Expire never-confirmed scions whose reference demonstrably never
+    // reached its holder (delivery lost; nobody will ever account for it).
+    const SimTime expiry =
+        cfg_.scion_pending_grace_us * cfg_.scion_pending_expiry_factor;
+    std::vector<RefId> orphans;
+    for (const auto& [ref, scion] : scions_) {
+      if (!scion.confirmed && env_.now() >= scion.created_at + expiry) {
+        orphans.push_back(ref);
+      }
+    }
+    for (RefId ref : orphans) {
+      ADGC_DEBUG("P" << pid_ << " expiring orphan pending scion " << ref_to_string(ref));
+      scions_.erase(ref);
+      metrics().scions_deleted_acyclic.add();
+    }
+  }
+  const lgc::Result res = lgc::run(heap_, stubs_, scions_, pinned_set_, env_.now());
+  metrics().lgc_runs.add();
+  metrics().objects_reclaimed.add(res.objects_reclaimed);
+  metrics().stubs_deleted.add(res.stubs_deleted);
+  if (!cfg_.dgc_enabled) return;
+  for (ProcessId dst : contacts_) {
+    NewSetStubsMsg msg = build_new_set_stubs(stubs_, dst, ++nss_seq_[dst]);
+    metrics().new_set_stubs_sent.add();
+    send(dst, msg);
+  }
+}
+
+void Process::take_snapshot() {
+  SnapshotData snap = capture_snapshot(pid_, env_.now(), heap_, stubs_, scions_);
+  metrics().snapshots_taken.add();
+  const std::uint64_t version = snapshot_version_ + 1;
+  if (cfg_.roundtrip_snapshots || store_) {
+    const std::vector<std::byte> bytes = serializer_->serialize(snap);
+    metrics().snapshot_bytes.add(bytes.size());
+    if (store_) store_->write(pid_, version, bytes);
+    if (cfg_.roundtrip_snapshots) snap = serializer_->deserialize(bytes);
+  }
+  SummarizedGraph sum = summarizer_->summarize(snap);
+  sum.version = version;
+  snapshot_version_ = version;
+  metrics().summarizations.add();
+  summary_ = std::make_shared<const SummarizedGraph>(std::move(sum));
+  detector_->set_snapshot(summary_);
+}
+
+bool Process::recover_summary_from_store() {
+  if (!store_) return false;
+  const auto stored = store_->read_latest(pid_);
+  if (!stored) return false;
+  SnapshotData snap;
+  try {
+    snap = serializer_->deserialize(stored->bytes);
+  } catch (const DecodeError& e) {
+    ADGC_ERROR("P" << pid_ << " stored snapshot undecodable: " << e.what());
+    return false;
+  }
+  SummarizedGraph sum = summarizer_->summarize(snap);
+  sum.version = stored->version;
+  snapshot_version_ = std::max(snapshot_version_, stored->version);
+  summary_ = std::make_shared<const SummarizedGraph>(std::move(sum));
+  detector_->set_snapshot(summary_);
+  ADGC_INFO("P" << pid_ << " recovered snapshot v" << stored->version << " from disk");
+  return true;
+}
+
+void Process::run_dcda_scan() {
+  if (!cfg_.dcda_enabled) return;
+  detector_->expire(env_.now());
+  backtracer_->expire(env_.now(), cfg_.detection_timeout_us);
+  const std::vector<RefId> cands = select_candidates(
+      scions_, summary_.get(), detector_->manager(), cfg_, env_.now(), scan_seq_++);
+  for (RefId c : cands) {
+    detector_->start_detection(c, env_.now());
+  }
+}
+
+void Process::start_backtrace(RefId candidate) { backtracer_->start(candidate); }
+
+}  // namespace adgc

@@ -1,0 +1,222 @@
+// One participant of the distributed object system.
+//
+// A Process is an actor: every method must be called from its execution
+// context (the simulator's event loop or its worker thread in the threaded
+// runtime). It owns:
+//   * the object heap and local roots (the mutator's world),
+//   * the DGC tables (stubs/scions) and the reference-listing protocol,
+//   * the local mark-sweep GC,
+//   * periodic snapshotting + summarization,
+//   * the DCDA detector,
+//   * the baseline back-tracing detector (for comparison benches).
+//
+// Reference export model (stands in for Rotor/.NET remoting interception):
+//   * exporting one of our own objects creates the scion locally, then hands
+//     out an ExportedRef — always safe;
+//   * re-exporting a reference we merely hold (third-party export) runs the
+//     scion-first handshake: AddScion to the owner, retried until acked;
+//     only then does the invocation carrying the reference leave. While the
+//     handshake is pending the re-exported stub is pinned against our LGC.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+#include "src/common/log.h"
+#include "src/common/metrics.h"
+#include "src/dcda/detector.h"
+#include "src/dgc/reference_listing.h"
+#include "src/dgc/scion_table.h"
+#include "src/dgc/stub_table.h"
+#include "src/net/transport.h"
+#include "src/rt/heap.h"
+#include "src/snapshot/serializer.h"
+#include "src/snapshot/snapshot_store.h"
+#include "src/snapshot/summarizer.h"
+
+namespace adgc {
+
+class BacktraceDetector;
+class GlobalTraceCollector;
+
+/// An argument of a remote invocation: either one of our own objects (to be
+/// exported) or a reference we hold (to be re-exported).
+struct ArgRef {
+  ObjectSeq local = kNoObject;
+  RefId remote = kNoRef;
+
+  static ArgRef own(ObjectSeq seq) { return {seq, kNoRef}; }
+  static ArgRef held(RefId ref) { return {kNoObject, ref}; }
+};
+
+class Process {
+ public:
+  Process(ProcessId pid, const ProcessConfig& cfg, Env& env);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const { return pid_; }
+  const ProcessConfig& config() const { return cfg_; }
+  Metrics& metrics() { return env_.metrics(); }
+
+  /// Kicks off the periodic LGC / snapshot / DCDA tasks. Call once after
+  /// construction (the runtimes do).
+  void start();
+
+  // ---------- mutator API ----------
+  ObjectSeq create_object(std::size_t payload_bytes = 0);
+  void add_root(ObjectSeq seq);
+  void remove_root(ObjectSeq seq);
+  void add_local_ref(ObjectSeq from, ObjectSeq to);
+  void remove_local_ref(ObjectSeq from, ObjectSeq to);
+  /// Drops one occurrence of a held remote reference.
+  void remove_remote_ref(ObjectSeq from, RefId ref);
+
+  /// Asynchronous remote invocation through `via` (a reference this process
+  /// holds). Arguments are exported per the model above; with third-party
+  /// args the message leaves only after all AddScion handshakes complete.
+  /// `payload_bytes` simulates marshalled by-value argument data.
+  /// Returns the call id.
+  std::uint64_t invoke(ObjectSeq caller, RefId via, InvokeEffect effect,
+                       std::vector<ArgRef> args = {}, bool want_reply = true,
+                       std::size_t payload_bytes = 0);
+
+  // ---------- direct graph construction (scenario/test setup) ----------
+  /// Exports local object `target` to `holder`: creates the scion here and
+  /// returns the descriptor the holder can install. Models a reference that
+  /// was handed out by an earlier, already-completed invocation.
+  ExportedRef export_own_object(ObjectSeq target, ProcessId holder);
+  /// Installs an exported reference into `from`'s fields (stub side).
+  RefId install_ref(ObjectSeq from, const ExportedRef& ref);
+  /// Adds another holder for a reference this process already has a stub
+  /// for (two objects sharing one proxy, as in the paper's Fig. 4).
+  void hold_existing_ref(ObjectSeq from, RefId ref);
+
+  // ---------- collector driving (the runtimes call these on timers; tests
+  // may call them directly for precise interleavings) ----------
+  void run_lgc();
+  void take_snapshot();
+  void run_dcda_scan();
+
+  /// Restores the summarized snapshot from the persistent store (config
+  /// `snapshot_dir`), e.g. after a restart. Returns false when nothing
+  /// usable is on disk. Safe: a stale summary only delays detection (the
+  /// IC rules reject anything the mutator has touched since).
+  bool recover_summary_from_store();
+
+  /// Starts a baseline back-tracing detection on a scion (bench/tests).
+  void start_backtrace(RefId candidate);
+
+  // ---------- message entry point ----------
+  void deliver(const Envelope& env);
+
+  // ---------- introspection ----------
+  Heap& heap() { return heap_; }
+  const Heap& heap() const { return heap_; }
+  const StubTable& stubs() const { return stubs_; }
+  const ScionTable& scions() const { return scions_; }
+  Detector& detector() { return *detector_; }
+  const Detector& detector() const { return *detector_; }
+  BacktraceDetector& backtracer() { return *backtracer_; }
+  GlobalTraceCollector& gtrace() { return *gtrace_; }
+  std::shared_ptr<const SummarizedGraph> current_summary() const { return summary_; }
+  std::uint64_t snapshot_version() const { return snapshot_version_; }
+  SimTime now() const { return env_.now(); }
+  std::size_t pending_exports() const { return handshakes_.size(); }
+
+ private:
+  friend class BacktraceDetector;
+  friend class GlobalTraceCollector;
+
+  struct PendingInvoke {
+    std::uint64_t call_id = 0;
+    ObjectSeq caller = kNoObject;
+    RefId via = kNoRef;
+    InvokeEffect effect = InvokeEffect::kTouch;
+    std::vector<ExportedRef> args;
+    std::size_t payload_bytes = 0;
+    std::set<std::uint64_t> waiting;  // outstanding handshake ids
+    bool want_reply = true;
+  };
+
+  struct Handshake {
+    std::uint64_t id = 0;
+    std::uint64_t call_id = 0;   // the invocation waiting on this handshake
+    AddScionMsg msg;
+    ProcessId owner = kNoProcess;
+    RefId pinned_stub = kNoRef;  // held stub pinned for the duration
+    int retries = 0;
+  };
+
+  RefId fresh_ref_id() { return make_ref_id(pid_, next_ref_counter_++); }
+
+  void send(ProcessId dst, const MessagePayload& msg);
+
+  // Message handlers.
+  void on_invoke(ProcessId src, const InvokeMsg& msg);
+  void on_reply(ProcessId src, const ReplyMsg& msg);
+  void on_new_set_stubs(ProcessId src, const NewSetStubsMsg& msg);
+  void on_add_scion(ProcessId src, const AddScionMsg& msg);
+  void on_add_scion_ack(ProcessId src, const AddScionAckMsg& msg);
+  void on_cdm(ProcessId src, const CdmMsg& msg);
+
+  // Export machinery.
+  ExportedRef begin_third_party_export(RefId held, ProcessId receiver,
+                                       std::uint64_t call_id, std::uint64_t* handshake_out);
+  void retry_handshake(std::uint64_t id);
+  void abandon_invoke(std::uint64_t call_id);
+  void maybe_flush_invoke(std::uint64_t call_id);
+  void really_send_invoke(PendingInvoke&& inv);
+  void pin_stub(RefId ref);
+  void unpin_stub(RefId ref);
+
+  // DCDA hook.
+  void on_cycle_found(DetectionId id, RefId candidate, std::uint64_t expected_ic);
+
+  // Periodic task drivers.
+  void lgc_tick();
+  void snapshot_tick();
+  void dcda_tick();
+
+  ProcessId pid_;
+  ProcessConfig cfg_;
+  Env& env_;
+
+  Heap heap_;
+  StubTable stubs_;
+  ScionTable scions_;
+
+  std::uint64_t next_ref_counter_ = 1;
+  std::uint64_t next_call_id_ = 1;
+  std::uint64_t next_handshake_ = 1;
+  std::map<ProcessId, std::uint64_t> nss_seq_;  // NewSetStubs export sequence
+  std::set<ProcessId> contacts_;                // processes that ever held our stubs' targets
+
+  std::map<std::uint64_t, PendingInvoke> pending_invokes_;
+  std::map<std::uint64_t, Handshake> handshakes_;
+  std::map<RefId, std::uint32_t> pinned_;  // stub pin counts
+  std::set<RefId> pinned_set_;             // cached key set for the LGC
+
+  std::unique_ptr<Serializer> serializer_;
+  std::unique_ptr<Summarizer> summarizer_;
+  std::unique_ptr<SnapshotStore> store_;  // null when persistence is off
+  std::shared_ptr<const SummarizedGraph> summary_;
+  std::uint64_t snapshot_version_ = 0;
+
+  std::unique_ptr<Detector> detector_;
+  std::unique_ptr<BacktraceDetector> backtracer_;
+  std::unique_ptr<GlobalTraceCollector> gtrace_;
+  std::uint64_t scan_seq_ = 0;  // candidate round-robin cursor
+  bool started_ = false;
+};
+
+}  // namespace adgc

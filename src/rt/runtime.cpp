@@ -1,0 +1,101 @@
+#include "src/rt/runtime.h"
+
+#include <utility>
+
+namespace adgc {
+
+class Runtime::SimEnv final : public Env {
+ public:
+  SimEnv(Runtime& rt, ProcessId pid, std::uint64_t seed) : rt_(rt), pid_(pid), rng_(seed) {}
+
+  SimTime now() const override { return rt_.now_; }
+
+  void send(ProcessId dst, const MessagePayload& msg) override {
+    Envelope env;
+    env.src = pid_;
+    env.dst = dst;
+    env.bytes = encode_message(msg);
+    rt_.network_->send(rt_.now_, std::move(env));
+  }
+
+  void schedule(SimTime delay, std::function<void()> fn) override {
+    rt_.push_at(rt_.now_ + delay, TimerEvent{pid_, std::move(fn)});
+  }
+
+  Rng& rng() override { return rng_; }
+  Metrics& metrics() override { return metrics_; }
+
+ private:
+  Runtime& rt_;
+  ProcessId pid_;
+  Rng rng_;
+  Metrics metrics_;
+};
+
+Runtime::Runtime(std::size_t num_processes, RuntimeConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  network_ = std::make_unique<SimNetwork>(
+      cfg_.net, rng_.fork(),
+      [this](SimTime when, Envelope env) { push_at(when, std::move(env)); },
+      &net_metrics_);
+  envs_.reserve(num_processes);
+  procs_.reserve(num_processes);
+  for (std::size_t i = 0; i < num_processes; ++i) {
+    envs_.push_back(std::make_unique<SimEnv>(*this, static_cast<ProcessId>(i),
+                                             rng_.next_u64()));
+    procs_.push_back(std::make_unique<Process>(static_cast<ProcessId>(i), cfg_.proc,
+                                               *envs_.back()));
+  }
+  for (auto& p : procs_) p->start();
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::push_at(SimTime when, std::variant<Envelope, TimerEvent> what) {
+  queue_.push(Event{when, next_event_seq_++, std::move(what)});
+}
+
+void Runtime::execute(Event&& ev) {
+  now_ = ev.when;
+  if (auto* env = std::get_if<Envelope>(&ev.what)) {
+    net_metrics_.messages_delivered.add();
+    procs_.at(env->dst)->deliver(*env);
+  } else {
+    std::get<TimerEvent>(ev.what).fn();
+  }
+}
+
+bool Runtime::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  execute(std::move(ev));
+  return true;
+}
+
+void Runtime::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    execute(std::move(ev));
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Runtime::run_for(SimTime duration) { run_until(now_ + duration); }
+
+Metrics Runtime::total_metrics() const {
+  Metrics total;
+  total.merge(net_metrics_);
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    total.merge(const_cast<Runtime*>(this)->envs_[i]->metrics());
+  }
+  return total;
+}
+
+RefId Runtime::link(ObjectId from, ObjectId to) {
+  const ExportedRef er = proc(to.owner).export_own_object(to.seq, from.owner);
+  return proc(from.owner).install_ref(from.seq, er);
+}
+
+}  // namespace adgc

@@ -1,0 +1,97 @@
+// Deterministic discrete-event runtime.
+//
+// Owns N processes, the simulated network and one global event queue.
+// Everything — message deliveries, collector timers — is an event; a run is
+// a pure function of (configuration, seed, mutator script), which is what
+// makes the safety/liveness test suite exhaustive and reproducible.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <variant>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/net/sim_network.h"
+#include "src/net/transport.h"
+#include "src/rt/process.h"
+
+namespace adgc {
+
+class Runtime {
+ public:
+  explicit Runtime(std::size_t num_processes, RuntimeConfig cfg = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  std::size_t size() const { return procs_.size(); }
+  Process& proc(ProcessId pid) { return *procs_.at(pid); }
+  const Process& proc(ProcessId pid) const { return *procs_.at(pid); }
+
+  SimTime now() const { return now_; }
+
+  /// Executes every event scheduled in the next `duration` microseconds.
+  void run_for(SimTime duration);
+  void run_until(SimTime deadline);
+  /// Executes one event. Returns false when the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+  SimNetwork& network() { return *network_; }
+  const RuntimeConfig& config() const { return cfg_; }
+
+  /// Network-level counters (sends/losses/bytes).
+  Metrics& net_metrics() { return net_metrics_; }
+  /// Sum of all per-process counters plus the network's.
+  Metrics total_metrics() const;
+
+  // ---- convenience graph construction ----
+  /// Creates a remote reference from object `from` to object `to` (their
+  /// owners may be any two distinct processes). Returns the RefId.
+  RefId link(ObjectId from, ObjectId to);
+  /// Makes `from` hold an existing reference (shared proxy).
+  void link_existing(ObjectId from, RefId ref) {
+    proc(from.owner).hold_existing_ref(from.seq, ref);
+  }
+
+ private:
+  struct TimerEvent {
+    ProcessId owner;
+    std::function<void()> fn;
+  };
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break: total determinism
+    std::variant<Envelope, TimerEvent> what;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  class SimEnv;  // per-process Env implementation
+
+  void push_at(SimTime when, std::variant<Envelope, TimerEvent> what);
+  void execute(Event&& ev);
+
+  RuntimeConfig cfg_;
+  Rng rng_;
+  SimTime now_ = 0;
+  std::uint64_t next_event_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  Metrics net_metrics_;
+  std::unique_ptr<SimNetwork> network_;
+  std::vector<std::unique_ptr<SimEnv>> envs_;
+  std::vector<std::unique_ptr<Process>> procs_;
+};
+
+}  // namespace adgc

@@ -1,0 +1,144 @@
+#include "src/rt/threaded_runtime.h"
+
+#include <chrono>
+#include <future>
+#include <queue>
+
+namespace adgc {
+
+namespace {
+SimTime steady_us() {
+  return static_cast<SimTime>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                  std::chrono::steady_clock::now().time_since_epoch())
+                                  .count());
+}
+}  // namespace
+
+/// Env bound to one worker thread. Timers live in a min-heap drained by the
+/// worker loop; schedule() is only ever called from that same thread (the
+/// Process is an actor), so no locking is needed.
+class ThreadedRuntime::ThreadEnv final : public Env {
+ public:
+  ThreadEnv(ThreadedRuntime& rt, ProcessId pid, std::uint64_t seed)
+      : rt_(rt), pid_(pid), rng_(seed) {}
+
+  SimTime now() const override { return steady_us(); }
+
+  void send(ProcessId dst, const MessagePayload& msg) override {
+    Envelope env;
+    env.src = pid_;
+    env.dst = dst;
+    env.bytes = encode_message(msg);
+    rt_.network_->send(std::move(env));
+  }
+
+  void schedule(SimTime delay, std::function<void()> fn) override {
+    timers_.push(Timer{now() + delay, next_timer_seq_++, std::move(fn)});
+  }
+
+  Rng& rng() override { return rng_; }
+  Metrics& metrics() override { return metrics_; }
+
+  /// Fires every due timer; returns microseconds until the next one (or a
+  /// default poll interval when none are queued).
+  SimTime pump_timers() {
+    const SimTime now_us = now();
+    while (!timers_.empty() && timers_.top().deadline <= now_us) {
+      // Copy out before pop: the callback may schedule more timers.
+      auto fn = timers_.top().fn;
+      timers_.pop();
+      fn();
+    }
+    if (timers_.empty()) return 10'000;
+    const SimTime next = timers_.top().deadline;
+    const SimTime cur = now();
+    return next > cur ? next - cur : 0;
+  }
+
+ private:
+  struct Timer {
+    SimTime deadline;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator<(const Timer& other) const {
+      // priority_queue is a max-heap: invert.
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return seq > other.seq;
+    }
+  };
+
+  ThreadedRuntime& rt_;
+  ProcessId pid_;
+  Rng rng_;
+  Metrics metrics_;
+  std::priority_queue<Timer> timers_;
+  std::uint64_t next_timer_seq_ = 0;
+};
+
+ThreadedRuntime::ThreadedRuntime(std::size_t num_processes, RuntimeConfig cfg) : cfg_(cfg) {
+  network_ = std::make_unique<ThreadedNetwork>(num_processes, cfg_.net, cfg_.seed,
+                                               &net_metrics_);
+  Rng seeder(cfg_.seed);
+  for (std::size_t i = 0; i < num_processes; ++i) {
+    envs_.push_back(std::make_unique<ThreadEnv>(*this, static_cast<ProcessId>(i),
+                                                seeder.next_u64()));
+    procs_.push_back(std::make_unique<Process>(static_cast<ProcessId>(i), cfg_.proc,
+                                               *envs_.back()));
+  }
+  for (std::size_t i = 0; i < num_processes; ++i) {
+    threads_.emplace_back([this, i] { worker(static_cast<ProcessId>(i)); });
+    // Kick off the periodic collectors from the process's own thread.
+    post(static_cast<ProcessId>(i), [](Process& p) { p.start(); });
+  }
+}
+
+ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
+
+void ThreadedRuntime::worker(ProcessId pid) {
+  ThreadEnv& env = *envs_.at(pid);
+  Process& proc = *procs_.at(pid);
+  while (!stopped_.load(std::memory_order_acquire)) {
+    const SimTime wait = std::min<SimTime>(env.pump_timers(), 10'000);
+    auto item = network_->poll(pid, wait);
+    if (!item) continue;
+    if (auto* envl = std::get_if<Envelope>(&*item)) {
+      env.metrics().messages_delivered.add();
+      proc.deliver(*envl);
+    } else {
+      std::get<std::function<void()>>(*item)();
+    }
+  }
+}
+
+void ThreadedRuntime::post(ProcessId pid, std::function<void(Process&)> fn) {
+  Process* proc = procs_.at(pid).get();
+  network_->post(pid, [proc, fn = std::move(fn)] { fn(*proc); });
+}
+
+void ThreadedRuntime::post_sync(ProcessId pid, std::function<void(Process&)> fn) {
+  std::promise<void> done;
+  auto fut = done.get_future();
+  post(pid, [&](Process& p) {
+    fn(p);
+    done.set_value();
+  });
+  fut.wait();
+}
+
+void ThreadedRuntime::shutdown() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  network_->shutdown();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Metrics ThreadedRuntime::total_metrics() {
+  Metrics total;
+  total.merge(net_metrics_);
+  for (auto& env : envs_) total.merge(env->metrics());
+  return total;
+}
+
+}  // namespace adgc

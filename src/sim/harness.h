@@ -1,0 +1,41 @@
+// Experiment harness: global-reachability oracle, canned configurations and
+// settle helpers shared by tests, benches and examples.
+#pragma once
+
+#include <unordered_set>
+
+#include "src/common/config.h"
+#include "src/rt/runtime.h"
+
+namespace adgc::sim {
+
+/// True global liveness, computed outside the protocol: BFS from every
+/// process's roots across local fields and remote references. This is the
+/// oracle the collectors are judged against.
+std::unordered_set<ObjectId> global_live_set(const Runtime& rt);
+
+struct GlobalStats {
+  std::size_t total_objects = 0;
+  std::size_t live_objects = 0;
+  std::size_t garbage_objects = 0;  // exist but unreachable: not yet collected
+  std::size_t stubs = 0;
+  std::size_t scions = 0;
+};
+
+GlobalStats global_stats(const Runtime& rt);
+
+/// Configuration with all periodic collector tasks pushed effectively to
+/// infinity: tests drive run_lgc/take_snapshot/run_dcda_scan by hand for
+/// precise interleavings, while the network still delivers normally.
+RuntimeConfig manual_config(std::uint64_t seed = 42);
+
+/// Fast automatic configuration: short collector periods, low latency.
+/// Good default for integration tests and examples.
+RuntimeConfig fast_config(std::uint64_t seed = 42);
+
+/// Runs everything (LGC → NewSetStubs → snapshot → DCDA scan) on every
+/// process, manually, for `rounds` rounds, flushing the network in between.
+/// Only meaningful with manual_config. `flush_us` bounds message latency.
+void settle_manual(Runtime& rt, int rounds, SimTime flush_us = 50'000);
+
+}  // namespace adgc::sim

@@ -1,0 +1,169 @@
+#include "src/sim/scenarios.h"
+
+#include <stdexcept>
+
+namespace adgc::sim {
+
+namespace {
+ObjectId make(Runtime& rt, ProcessId pid) {
+  return ObjectId{pid, rt.proc(pid).create_object()};
+}
+}  // namespace
+
+Fig3 build_fig3(Runtime& rt) {
+  if (rt.size() < 4) throw std::invalid_argument("fig3 needs 4 processes");
+  const ProcessId P1 = 0, P2 = 1, P3 = 2, P4 = 3;
+  Fig3 f;
+  f.A = make(rt, P1);
+  f.B = make(rt, P1);
+  f.C = make(rt, P1);
+  f.D = make(rt, P1);
+  f.F = make(rt, P2);
+  f.G = make(rt, P2);
+  f.H = make(rt, P2);
+  f.J = make(rt, P2);
+  f.O = make(rt, P3);
+  f.M = make(rt, P3);
+  f.K = make(rt, P3);
+  f.Q = make(rt, P4);
+  f.R = make(rt, P4);
+  f.S = make(rt, P4);
+
+  // P1: A → B (the old root path), D → C → B.
+  rt.proc(P1).add_local_ref(f.A.seq, f.B.seq);
+  rt.proc(P1).add_local_ref(f.D.seq, f.C.seq);
+  rt.proc(P1).add_local_ref(f.C.seq, f.B.seq);
+  rt.proc(P1).add_root(f.A.seq);
+
+  // P2: F → H, F → G, G → H, H → J (the paper's internal references).
+  rt.proc(P2).add_local_ref(f.F.seq, f.H.seq);
+  rt.proc(P2).add_local_ref(f.F.seq, f.G.seq);
+  rt.proc(P2).add_local_ref(f.G.seq, f.H.seq);
+  rt.proc(P2).add_local_ref(f.H.seq, f.J.seq);
+
+  // P4: Q → R → S.
+  rt.proc(P4).add_local_ref(f.Q.seq, f.R.seq);
+  rt.proc(P4).add_local_ref(f.R.seq, f.S.seq);
+
+  // P3: O → M → K.
+  rt.proc(P3).add_local_ref(f.O.seq, f.M.seq);
+  rt.proc(P3).add_local_ref(f.M.seq, f.K.seq);
+
+  // Remote ring: B→F, J→Q, S→O, K→D.
+  f.B_to_F = rt.link(f.B, f.F);
+  f.J_to_Q = rt.link(f.J, f.Q);
+  f.S_to_O = rt.link(f.S, f.O);
+  f.K_to_D = rt.link(f.K, f.D);
+  return f;
+}
+
+Ring build_ring(Runtime& rt, std::size_t n_procs, std::size_t objs_per_proc,
+                bool pin_first) {
+  if (rt.size() < n_procs || n_procs < 2 || objs_per_proc < 1) {
+    throw std::invalid_argument("bad ring parameters");
+  }
+  Ring ring;
+  std::vector<ObjectId> tails;
+  for (ProcessId pid = 0; pid < n_procs; ++pid) {
+    ObjectId head = make(rt, pid);
+    ObjectId cur = head;
+    for (std::size_t i = 1; i < objs_per_proc; ++i) {
+      ObjectId next = make(rt, pid);
+      rt.proc(pid).add_local_ref(cur.seq, next.seq);
+      cur = next;
+    }
+    ring.heads.push_back(head);
+    tails.push_back(cur);
+  }
+  for (ProcessId pid = 0; pid < n_procs; ++pid) {
+    const ProcessId next = static_cast<ProcessId>((pid + 1) % n_procs);
+    ring.ring_refs.push_back(rt.link(tails[pid], ring.heads[next]));
+  }
+  if (pin_first) {
+    ObjectId anchor = make(rt, 0);
+    rt.proc(0).add_local_ref(anchor.seq, ring.heads[0].seq);
+    rt.proc(0).add_root(anchor.seq);
+    ring.anchors.push_back(anchor);
+  }
+  return ring;
+}
+
+Fig4 build_fig4(Runtime& rt) {
+  if (rt.size() < 6) throw std::invalid_argument("fig4 needs 6 processes");
+  const ProcessId P1 = 0, P2 = 1, P3 = 2, P4 = 3, P5 = 4, P6 = 5;
+  Fig4 f;
+  f.D = make(rt, P1);
+  f.F = make(rt, P2);
+  f.K = make(rt, P3);
+  f.T = make(rt, P4);
+  f.V = make(rt, P5);
+  f.Y = make(rt, P5);
+  f.ZB = make(rt, P6);
+  f.ZD = make(rt, P6);
+
+  // P6: ZB → ZD locally.
+  rt.proc(P6).add_local_ref(f.ZB.seq, f.ZD.seq);
+
+  // Remote references. V and Y share ONE reference to T (same proxy).
+  f.F_to_V = rt.link(f.F, f.V);
+  f.F_to_K = rt.link(f.F, f.K);
+  f.VY_to_T = rt.link(f.V, f.T);
+  rt.link_existing(f.Y, f.VY_to_T);
+  f.T_to_D = rt.link(f.T, f.D);
+  f.D_to_F = rt.link(f.D, f.F);
+  f.K_to_ZB = rt.link(f.K, f.ZB);
+  f.ZD_to_Y = rt.link(f.ZD, f.Y);
+  return f;
+}
+
+Fig1 build_fig1(Runtime& rt, bool pin_w) {
+  if (rt.size() < 4) throw std::invalid_argument("fig1 needs 4 processes");
+  const ProcessId P1 = 0, P2 = 1, P3 = 2, P4 = 3;
+  Fig1 f;
+  f.x = make(rt, P1);
+  f.y = make(rt, P2);
+  f.z = make(rt, P3);
+  f.w = make(rt, P4);
+  f.x_to_y = rt.link(f.x, f.y);
+  f.y_to_z = rt.link(f.y, f.z);
+  f.z_to_x = rt.link(f.z, f.x);
+  f.w_to_x = rt.link(f.w, f.x);
+  if (pin_w) rt.proc(P4).add_root(f.w.seq);
+  return f;
+}
+
+Fig5 build_fig5(Runtime& rt) {
+  if (rt.size() < 5) throw std::invalid_argument("fig5 needs 5 processes");
+  const ProcessId P1 = 0, P2 = 1, P3 = 2, P4 = 3, P5 = 4;
+  Fig5 f;
+  f.A = make(rt, P1);
+  f.B = make(rt, P1);
+  f.D = make(rt, P1);
+  f.F = make(rt, P2);
+  f.J = make(rt, P2);
+  f.M = make(rt, P3);
+  f.T = make(rt, P4);
+  f.V = make(rt, P5);
+
+  // P1: root → A → B, D → B.
+  rt.proc(P1).add_local_ref(f.A.seq, f.B.seq);
+  rt.proc(P1).add_local_ref(f.D.seq, f.B.seq);
+  rt.proc(P1).add_root(f.A.seq);
+
+  // P2: F → J.
+  rt.proc(P2).add_local_ref(f.F.seq, f.J.seq);
+
+  // P3: M is a root (it will receive the exported reference to J).
+  rt.proc(P3).add_root(f.M.seq);
+
+  // Remote references: the cycle ... → F → J → V → T → D → (B →) F.
+  f.B_to_F = rt.link(f.B, f.F);
+  f.J_to_V = rt.link(f.J, f.V);
+  f.V_to_T = rt.link(f.V, f.T);
+  f.T_to_D = rt.link(f.T, f.D);
+  // F holds a reference to M so the scripted mutation can export J to P3.
+  f.F_to_M = rt.link(f.F, f.M);
+  return f;
+}
+
+}  // namespace adgc::sim

@@ -1,0 +1,77 @@
+// The paper's figures as reusable graph builders.
+//
+// Each builder constructs the exact object graph of the corresponding figure
+// on a Runtime and returns the identities tests/benches need. Object and
+// process names follow the paper.
+#pragma once
+
+#include "src/rt/runtime.h"
+
+namespace adgc::sim {
+
+/// Fig. 3 — a simple distributed garbage cycle over four processes:
+///   {F,H,J}_P2 → {Q,R,S}_P4 → {O,M,K}_P3 → {D,C,B}_P1 → F_P2
+/// plus G internal to P2 and A in P1 (the former root path). On return,
+/// A is pinned by P1's root; drop it to turn the whole structure into
+/// garbage. Processes used: P1=0, P2=1, P3=2, P4=3.
+struct Fig3 {
+  ObjectId A, B, C, D;  // P1
+  ObjectId F, G, H, J;  // P2
+  ObjectId O, M, K;     // P3
+  ObjectId Q, R, S;     // P4
+  RefId B_to_F, J_to_Q, S_to_O, K_to_D;
+};
+Fig3 build_fig3(Runtime& rt);
+
+/// Generalized Fig. 3: a garbage ring spanning `n_procs` processes with
+/// `objs_per_proc` chained objects in each. Returns the scion RefIds of the
+/// ring (one per process) in ring order; entry 0 is the natural candidate.
+struct Ring {
+  std::vector<ObjectId> heads;        // first object of each process segment
+  std::vector<ObjectId> anchors;      // root-pinned anchor per process (optional)
+  std::vector<RefId> ring_refs;       // refs closing the ring, ring order
+};
+Ring build_ring(Runtime& rt, std::size_t n_procs, std::size_t objs_per_proc,
+                bool pin_first = true);
+
+/// Fig. 4 — two mutually-linked distributed cycles over six processes:
+///   left:  F_P2 → V_P5 → T_P4 → D_P1 → F_P2
+///   right: F_P2 → K_P3 → ZB_P6 → ZD_P6 → Y_P5 → T_P4 → D_P1 → F_P2
+/// V and Y share the *same* reference (one proxy) to T_P4.
+/// Processes: P1=0, P2=1, P3=2, P4=3, P5=4, P6=5.
+struct Fig4 {
+  ObjectId D;         // P1
+  ObjectId F;         // P2
+  ObjectId K;         // P3
+  ObjectId T;         // P4
+  ObjectId V, Y;      // P5
+  ObjectId ZB, ZD;    // P6
+  RefId F_to_V, F_to_K, VY_to_T, T_to_D, D_to_F, K_to_ZB, ZD_to_Y;
+};
+Fig4 build_fig4(Runtime& rt);
+
+/// Fig. 1 — a three-process cycle (x_P1 → y_P2 → z_P3 → x_P1) plus an extra
+/// converging reference w_P4 → x_P1 (the dependency that must be resolved
+/// before the cycle may be declared garbage).
+struct Fig1 {
+  ObjectId x, y, z, w;
+  RefId x_to_y, y_to_z, z_to_x, w_to_x;
+};
+Fig1 build_fig1(Runtime& rt, bool pin_w);
+
+/// Fig. 5 — the mutator–DCDA race graph (five processes carry the action):
+///   cycle F_P2 → V_P5 → T_P4 → D_P1 → F_P2, where P1 additionally has
+///   root → A → B, D → B, and B holds the stub to F (Local.Reach = true);
+///   P2 has F → J, J holds the stub to V; F also holds a stub to M_P3
+///   (used by the scripted mutation to export J to P3).
+struct Fig5 {
+  ObjectId A, B, D;  // P1
+  ObjectId F, J;     // P2
+  ObjectId M;        // P3
+  ObjectId T;        // P4
+  ObjectId V;        // P5
+  RefId B_to_F, J_to_V, V_to_T, T_to_D, F_to_M;
+};
+Fig5 build_fig5(Runtime& rt);
+
+}  // namespace adgc::sim

@@ -1,0 +1,107 @@
+// Randomized mutator workloads with a shadow oracle.
+//
+// The ShadowGraph mirrors every mutation the workload performs, outside the
+// collectors' reach. At any instant, every shadow-live object must still
+// exist in the runtime heaps (safety), and once mutation stops and the
+// collectors settle, the runtime must hold exactly the shadow-live objects
+// (completeness). Property tests sweep seeds over this contract.
+//
+// The workload only performs synchronously-visible mutations (direct graph
+// edits plus kTouch invocations for invocation-counter churn), so the shadow
+// is exact even under message loss.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/rt/runtime.h"
+
+namespace adgc::sim {
+
+class ShadowGraph {
+ public:
+  void add_object(ObjectId id);
+  void add_root(ObjectId id);
+  void remove_root(ObjectId id);
+  void add_edge(ObjectId from, ObjectId to);
+  void remove_edge(ObjectId from, ObjectId to);  // one occurrence
+
+  std::unordered_set<ObjectId> live() const;
+  std::size_t num_objects() const { return out_.size(); }
+
+ private:
+  std::unordered_map<ObjectId, std::vector<ObjectId>> out_;
+  std::unordered_set<ObjectId> roots_;
+};
+
+struct WorkloadParams {
+  std::size_t initial_objects_per_proc = 8;
+  double p_create = 0.18;
+  double p_add_local_edge = 0.22;
+  double p_add_remote_edge = 0.16;
+  double p_remove_edge = 0.20;
+  double p_toggle_root = 0.10;
+  double p_invoke = 0.14;  // kTouch through a random held reference
+  std::size_t max_objects = 4000;
+  /// When true, a fraction of remote-edge creations go through the real RMI
+  /// path (kStoreArgs invocation with an own-object export) instead of the
+  /// direct link() shortcut, exercising scion-first handshakes and stub
+  /// installation. Requires a loss-free network: the workload flushes after
+  /// each RMI so the shadow stays exact.
+  bool use_rmi_edges = false;
+  /// Flush window after each RMI-created edge (simulated µs).
+  SimTime rmi_flush_us = 30'000;
+};
+
+/// Drives random mutations against a Runtime while mirroring them in a
+/// ShadowGraph.
+class RandomWorkload {
+ public:
+  RandomWorkload(Runtime& rt, WorkloadParams params, std::uint64_t seed);
+
+  /// Performs one random mutator operation (and flushes nothing — callers
+  /// interleave rt.run_for as they wish).
+  void step();
+  void steps(std::size_t n);
+
+  const ShadowGraph& shadow() const { return shadow_; }
+
+  /// Verifies that every shadow-live object still exists in the runtime.
+  /// Returns the first missing object, or nullopt if all present.
+  std::optional<ObjectId> find_safety_violation() const;
+
+  /// After the collectors settled: true iff the runtime holds exactly the
+  /// shadow-live objects (no garbage left, nothing live lost).
+  bool converged() const;
+
+ private:
+  struct Edge {
+    ObjectId from, to;
+    RefId ref = kNoRef;  // kNoRef for local edges
+  };
+
+  ObjectId random_object(ProcessId pid);
+  ObjectId random_object_any();
+
+  void op_create();
+  void op_add_local_edge();
+  void op_add_remote_edge();
+  void op_remove_edge();
+  void op_toggle_root();
+  void op_invoke();
+  /// Creates a remote edge via a real kStoreArgs invocation (own export).
+  void op_rmi_store_edge();
+
+  Runtime& rt_;
+  WorkloadParams params_;
+  Rng rng_;
+  ShadowGraph shadow_;
+  std::vector<std::vector<ObjectSeq>> objects_;  // per process, ever created
+  std::vector<Edge> edges_;
+  std::unordered_set<ObjectId> rooted_;
+};
+
+}  // namespace adgc::sim

@@ -1,0 +1,137 @@
+// Incremental summarizer (§4: summarization "is performed, lazily and
+// incrementally").
+//
+// Soundness argument for the reuse rule: a scion's forward traversal visits
+// a set V of objects and reads only their fields. If, in the new snapshot,
+// every object of V exists with identical fields, the traversal would visit
+// exactly V again and produce the same stub set: newly added objects can
+// only become reachable through a *changed* field of some visited object,
+// and deletions of visited objects are changes by definition. Hence the
+// memoized result is reused iff V ∩ changed = ∅ (and the scion itself is
+// unchanged apart from its IC, which is copied fresh).
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/snapshot/summarizer.h"
+#include "src/snapshot/summarizer_internal.h"
+
+namespace adgc {
+
+std::uint64_t IncrementalSummarizer::object_fingerprint(const SnapshotData::Obj& o) {
+  // FNV-1a over the reachability-relevant content (payload excluded: it
+  // carries no references).
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(o.seq);
+  mix(o.local_fields.size());
+  for (ObjectSeq f : o.local_fields) mix(f);
+  mix(0x5ca1ab1eULL);
+  for (RefId f : o.remote_fields) mix(f);
+  return h;
+}
+
+SummarizedGraph IncrementalSummarizer::summarize(const SnapshotData& snap) {
+  SummarizedGraph out;
+  detail::init_summary_entries(snap, out);
+  detail::SnapshotIndex ix(snap);
+  last_recomputed_ = 0;
+  last_reused_ = 0;
+
+  // Diff the object population against the previous snapshot.
+  std::unordered_map<ObjectSeq, std::uint64_t> cur_objects;
+  cur_objects.reserve(snap.objects.size());
+  std::unordered_set<ObjectSeq> changed;
+  for (const auto& o : snap.objects) {
+    const std::uint64_t fp = object_fingerprint(o);
+    cur_objects.emplace(o.seq, fp);
+    auto it = prev_objects_.find(o.seq);
+    if (it == prev_objects_.end() || it->second != fp) changed.insert(o.seq);
+  }
+  for (const auto& [seq, fp] : prev_objects_) {
+    if (!cur_objects.contains(seq)) changed.insert(seq);  // deleted
+  }
+
+  // Local.Reach: always recomputed (one cheap BFS; root churn is common).
+  const std::vector<bool> from_root = detail::snapshot_bfs(ix, snap.roots);
+  for (std::size_t i = 0; i < snap.objects.size(); ++i) {
+    if (!from_root[i]) continue;
+    for (RefId ref : snap.objects[i].remote_fields) {
+      auto it = out.stubs.find(ref);
+      if (it != out.stubs.end()) it->second.local_reach = true;
+    }
+  }
+
+  // The set of stubs present now — memoized stub lists may contain refs
+  // whose stub has since disappeared; those entries invalidate the memo.
+  auto stubs_still_present = [&](const Memo& m) {
+    return std::all_of(m.stubs_from.begin(), m.stubs_from.end(),
+                       [&](RefId r) { return out.stubs.contains(r); });
+  };
+
+  for (const auto& s : snap.scions) {
+    auto& sum = out.scions.at(s.ref);
+    auto mit = memo_.find(s.ref);
+    bool reusable = mit != memo_.end() && stubs_still_present(mit->second);
+    if (reusable) {
+      for (ObjectSeq v : mit->second.visited) {
+        if (changed.contains(v)) {
+          reusable = false;
+          break;
+        }
+      }
+    }
+    if (reusable) {
+      sum.stubs_from = mit->second.stubs_from;
+      ++last_reused_;
+      continue;
+    }
+
+    // Full forward traversal; record the visited set for next time.
+    ++last_recomputed_;
+    Memo memo;
+    std::vector<std::size_t> stack;
+    std::vector<bool> seen(snap.objects.size(), false);
+    auto push = [&](ObjectSeq seq) {
+      auto it = ix.obj_index.find(seq);
+      if (it != ix.obj_index.end() && !seen[it->second]) {
+        seen[it->second] = true;
+        stack.push_back(it->second);
+      }
+    };
+    push(s.target);
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      const auto& obj = snap.objects[cur];
+      memo.visited.push_back(obj.seq);
+      for (RefId ref : obj.remote_fields) {
+        if (out.stubs.contains(ref)) memo.stubs_from.push_back(ref);
+      }
+      for (ObjectSeq next : obj.local_fields) push(next);
+    }
+    std::sort(memo.visited.begin(), memo.visited.end());
+    std::sort(memo.stubs_from.begin(), memo.stubs_from.end());
+    memo.stubs_from.erase(std::unique(memo.stubs_from.begin(), memo.stubs_from.end()),
+                          memo.stubs_from.end());
+    sum.stubs_from = memo.stubs_from;
+    memo_[s.ref] = std::move(memo);
+  }
+
+  // Drop memos for scions that no longer exist.
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    if (out.scions.contains(it->first)) {
+      ++it;
+    } else {
+      it = memo_.erase(it);
+    }
+  }
+
+  prev_objects_ = std::move(cur_objects);
+  finalize_summary(out);
+  return out;
+}
+
+}  // namespace adgc

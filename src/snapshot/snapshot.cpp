@@ -1,0 +1,38 @@
+#include "src/snapshot/snapshot.h"
+
+#include <algorithm>
+
+namespace adgc {
+
+SnapshotData capture_snapshot(ProcessId pid, SimTime now, const Heap& heap,
+                              const StubTable& stubs, const ScionTable& scions) {
+  SnapshotData snap;
+  snap.pid = pid;
+  snap.taken_at = now;
+  snap.roots.assign(heap.roots().begin(), heap.roots().end());
+
+  snap.objects.reserve(heap.size());
+  for (const auto& [seq, obj] : heap.objects()) {
+    SnapshotData::Obj o;
+    o.seq = seq;
+    o.local_fields = obj.local_fields;
+    o.remote_fields = obj.remote_fields;
+    o.payload = obj.payload;
+    snap.objects.push_back(std::move(o));
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(snap.objects.begin(), snap.objects.end(),
+            [](const auto& a, const auto& b) { return a.seq < b.seq; });
+
+  snap.stubs.reserve(stubs.size());
+  for (const auto& [ref, stub] : stubs) {
+    snap.stubs.push_back({ref, stub.target, stub.ic});
+  }
+  snap.scions.reserve(scions.size());
+  for (const auto& [ref, scion] : scions) {
+    snap.scions.push_back({ref, scion.holder, scion.target, scion.ic});
+  }
+  return snap;
+}
+
+}  // namespace adgc

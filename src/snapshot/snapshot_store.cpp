@@ -1,0 +1,122 @@
+#include "src/snapshot/snapshot_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/bytes.h"
+#include "src/common/log.h"
+
+namespace adgc {
+
+namespace {
+
+constexpr std::uint32_t kFileMagic = 0x41444753;  // "ADGS"
+
+// FNV-1a over the payload; cheap integrity check against truncation.
+std::uint64_t checksum(std::span<const std::byte> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::filesystem::path dir, std::size_t retain)
+    : dir_(std::move(dir)), retain_(std::max<std::size_t>(retain, 1)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path SnapshotStore::path_for(ProcessId pid, std::uint64_t version) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "snapshot_p%u_v%020llu.bin", pid,
+                static_cast<unsigned long long>(version));
+  return dir_ / name;
+}
+
+std::filesystem::path SnapshotStore::write(ProcessId pid, std::uint64_t version,
+                                           std::span<const std::byte> bytes) {
+  const std::filesystem::path path = path_for(pid, version);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    ByteWriter header;
+    header.u32(kFileMagic);
+    header.u32(pid);
+    header.u64(version);
+    header.u64(bytes.size());
+    header.u64(checksum(bytes));
+
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(header.data().data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("snapshot store: write failed: " + tmp.string());
+  }
+  // Atomic publish: readers only ever see complete files.
+  std::filesystem::rename(tmp, path);
+  prune(pid);
+  return path;
+}
+
+std::vector<std::uint64_t> SnapshotStore::versions(ProcessId pid) const {
+  std::vector<std::uint64_t> out;
+  char prefix[32];
+  std::snprintf(prefix, sizeof prefix, "snapshot_p%u_v", pid);
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0 || name.size() < std::strlen(prefix) + 4) continue;
+    if (name.substr(name.size() - 4) != ".bin") continue;
+    const std::string digits =
+        name.substr(std::strlen(prefix), name.size() - std::strlen(prefix) - 4);
+    out.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SnapshotStore::prune(ProcessId pid) {
+  std::vector<std::uint64_t> vs = versions(pid);
+  while (vs.size() > retain_) {
+    std::error_code ec;
+    std::filesystem::remove(path_for(pid, vs.front()), ec);
+    vs.erase(vs.begin());
+  }
+}
+
+std::optional<SnapshotStore::Stored> SnapshotStore::read_latest(ProcessId pid) {
+  std::vector<std::uint64_t> vs = versions(pid);
+  for (auto it = vs.rbegin(); it != vs.rend(); ++it) {
+    const std::filesystem::path path = path_for(pid, *it);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    const std::string raw((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    const auto* p = reinterpret_cast<const std::byte*>(raw.data());
+    std::vector<std::byte> file(p, p + raw.size());
+    // Validate the header + checksum.
+    try {
+      ByteReader r(file);
+      if (r.u32() != kFileMagic) throw DecodeError("bad store magic");
+      if (r.u32() != pid) throw DecodeError("wrong pid");
+      const std::uint64_t version = r.u64();
+      const std::uint64_t size = r.u64();
+      const std::uint64_t sum = r.u64();
+      if (r.remaining() != size) throw DecodeError("truncated snapshot file");
+      std::vector<std::byte> payload(file.end() - static_cast<std::ptrdiff_t>(size),
+                                     file.end());
+      if (checksum(payload) != sum) throw DecodeError("checksum mismatch");
+      return Stored{version, std::move(payload)};
+    } catch (const DecodeError& e) {
+      ++corrupt_skipped_;
+      ADGC_WARN("snapshot store: skipping corrupt " << path.string() << ": " << e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace adgc

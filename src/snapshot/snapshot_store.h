@@ -1,0 +1,56 @@
+// Persistent snapshot store.
+//
+// The paper's processes serialize their object graph snapshots to disk
+// (§2.2: "each process stores a snapshot of its internal object graph on
+// disk"); summarization then reads them back. This store implements that
+// path: versioned snapshot files per process, bounded retention, checksum
+// validation on read, and recovery of the latest usable snapshot after a
+// restart.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace adgc {
+
+class SnapshotStore {
+ public:
+  /// Creates/opens a store rooted at `dir` (created if absent), keeping at
+  /// most `retain` snapshot files per process.
+  explicit SnapshotStore(std::filesystem::path dir, std::size_t retain = 2);
+
+  /// Persists one serialized snapshot; prunes old versions past the
+  /// retention count. Returns the file path.
+  std::filesystem::path write(ProcessId pid, std::uint64_t version,
+                              std::span<const std::byte> bytes);
+
+  struct Stored {
+    std::uint64_t version = 0;
+    std::vector<std::byte> bytes;
+  };
+
+  /// Loads the newest snapshot of `pid` whose checksum validates; corrupt
+  /// or truncated files are skipped (and reported via corrupt_skipped()).
+  std::optional<Stored> read_latest(ProcessId pid);
+
+  /// Versions currently on disk for `pid`, ascending.
+  std::vector<std::uint64_t> versions(ProcessId pid) const;
+
+  std::size_t corrupt_skipped() const { return corrupt_skipped_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path path_for(ProcessId pid, std::uint64_t version) const;
+  void prune(ProcessId pid);
+
+  std::filesystem::path dir_;
+  std::size_t retain_;
+  std::size_t corrupt_skipped_ = 0;
+};
+
+}  // namespace adgc

@@ -1,0 +1,30 @@
+// Helpers shared by the summarizer implementations. Internal header.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/snapshot/snapshot.h"
+
+namespace adgc::detail {
+
+/// Index over snapshot objects (seq → dense index).
+struct SnapshotIndex {
+  std::unordered_map<ObjectSeq, std::size_t> obj_index;
+  const SnapshotData* snap;
+
+  explicit SnapshotIndex(const SnapshotData& s) : snap(&s) {
+    obj_index.reserve(s.objects.size());
+    for (std::size_t i = 0; i < s.objects.size(); ++i) {
+      obj_index.emplace(s.objects[i].seq, i);
+    }
+  }
+};
+
+/// Objects reachable from `seeds` through local fields (dense bool vector).
+std::vector<bool> snapshot_bfs(const SnapshotIndex& ix, const std::vector<ObjectSeq>& seeds);
+
+/// Seeds scion/stub summary entries (ids, ICs, targets; relations empty).
+void init_summary_entries(const SnapshotData& snap, SummarizedGraph& out);
+
+}  // namespace adgc::detail

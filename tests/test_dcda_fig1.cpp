@@ -1,0 +1,120 @@
+// The paper's Fig. 1: a converging remote reference (w_P4 → x_P1) is an
+// extra dependency of the cycle x→y→z→x. While unresolved it must prevent
+// detection; once the acyclic DGC clears it, the cycle is collectable.
+#include <gtest/gtest.h>
+
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/sim/scenarios.h"
+
+namespace adgc {
+namespace {
+
+using sim::build_fig1;
+using sim::Fig1;
+
+void snapshot_all(Runtime& rt) {
+  for (ProcessId pid = 0; pid < rt.size(); ++pid) {
+    rt.proc(pid).run_lgc();
+    rt.proc(pid).take_snapshot();
+  }
+  rt.run_for(30'000);
+}
+
+TEST(DcdaFig1, LiveDependencyBlocksDetection) {
+  Runtime rt(4, sim::manual_config(5));
+  const Fig1 fig = build_fig1(rt, /*pin_w=*/true);
+  snapshot_all(rt);
+
+  // Probe every scion of the cycle; x has two incoming scions (z's and w's),
+  // so every CDM returning to P1 carries an unresolved dependency.
+  rt.proc(1).detector().start_detection(fig.x_to_y, rt.now());
+  rt.proc(2).detector().start_detection(fig.y_to_z, rt.now());
+  rt.proc(0).detector().start_detection(fig.z_to_x, rt.now());
+  rt.run_for(300'000);
+
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 0u);
+  sim::settle_manual(rt, 6);
+  const sim::GlobalStats st = sim::global_stats(rt);
+  EXPECT_EQ(st.total_objects, 4u);  // x, y, z, w all alive
+  EXPECT_EQ(st.garbage_objects, 0u);
+}
+
+TEST(DcdaFig1, GarbageDependencyResolvesThroughAcyclicDgc) {
+  Runtime rt(4, sim::manual_config(6));
+  const Fig1 fig = build_fig1(rt, /*pin_w=*/false);
+  // w is garbage from the start: the whole structure is hybrid garbage
+  // (an acyclic branch w→x converging on a pure cycle).
+  snapshot_all(rt);
+
+  // While w's stub still exists, the dependency is real: detection of the
+  // cycle via x's scion from z must not conclude.
+  rt.proc(0).detector().start_detection(fig.z_to_x, rt.now());
+  rt.run_for(200'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 0u);
+
+  // One acyclic round: P4's LGC kills w and its stub; NewSetStubs deletes
+  // the w→x scion at P1.
+  rt.proc(3).run_lgc();
+  rt.run_for(50'000);
+  EXPECT_FALSE(rt.proc(0).scions().contains(fig.w_to_x));
+
+  // Fresh snapshots now show a clean cycle; detection succeeds.
+  snapshot_all(rt);
+  ASSERT_TRUE(rt.proc(1).detector().start_detection(fig.x_to_y, rt.now()));
+  rt.run_for(200'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 1u);
+
+  sim::settle_manual(rt, 6);
+  EXPECT_EQ(sim::global_stats(rt).total_objects, 0u);
+}
+
+TEST(DcdaFig1, StaleSnapshotStillSafe) {
+  // P1's snapshot still contains the w→x scion even after the acyclic DGC
+  // removed it: detections based on the stale snapshot keep the dependency
+  // and must simply not conclude (conservative, no unsafety), until a fresh
+  // snapshot is taken.
+  Runtime rt(4, sim::manual_config(8));
+  const Fig1 fig = build_fig1(rt, /*pin_w=*/false);
+  snapshot_all(rt);  // snapshot BEFORE w's stub disappears
+
+  rt.proc(3).run_lgc();  // w dies; scion w→x deleted at P1
+  rt.run_for(50'000);
+  ASSERT_FALSE(rt.proc(0).scions().contains(fig.w_to_x));
+
+  // Old snapshot at P1 still lists the scion as a dependency.
+  rt.proc(1).detector().start_detection(fig.x_to_y, rt.now());
+  rt.run_for(200'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 0u);
+
+  // The objects are still there (conservative).
+  EXPECT_TRUE(rt.proc(0).heap().exists(fig.x.seq));
+
+  // Refresh and retry from another entry point (the first detection is
+  // still nominally in flight at P2 under the manual config): concludes.
+  snapshot_all(rt);
+  ASSERT_TRUE(rt.proc(2).detector().start_detection(fig.y_to_z, rt.now()));
+  rt.run_for(200'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 1u);
+}
+
+TEST(DcdaFig1, AutomaticHybridCollection) {
+  Runtime rt(4, sim::fast_config(9));
+  build_fig1(rt, /*pin_w=*/false);
+  rt.run_for(3'000'000);
+  EXPECT_EQ(sim::global_stats(rt).total_objects, 0u);
+}
+
+TEST(DcdaFig1, DependencyDroppedThenCycleStaysIfRooted) {
+  // Even after w disappears, a root on any cycle member keeps everything.
+  Runtime rt(4, sim::fast_config(10));
+  const Fig1 fig = build_fig1(rt, /*pin_w=*/false);
+  rt.proc(1).add_root(fig.y.seq);
+  rt.run_for(3'000'000);
+  const sim::GlobalStats st = sim::global_stats(rt);
+  EXPECT_EQ(st.total_objects, 3u);  // x, y, z; w collected
+  EXPECT_EQ(st.garbage_objects, 0u);
+}
+
+}  // namespace
+}  // namespace adgc

@@ -1,0 +1,141 @@
+// The paper's Fig. 3 walkthrough (§3): a simple distributed garbage cycle
+// over four processes, traced step by step with manual collector driving,
+// plus the automatic end-to-end variant.
+#include <gtest/gtest.h>
+
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/sim/scenarios.h"
+
+namespace adgc {
+namespace {
+
+using sim::build_fig3;
+using sim::Fig3;
+
+class DcdaFig3 : public ::testing::Test {
+ protected:
+  DcdaFig3() : rt(4, sim::manual_config(11)) {}
+
+  Runtime rt;
+};
+
+TEST_F(DcdaFig3, SummarizationMatchesPaper) {
+  const Fig3 fig = build_fig3(rt);
+  auto& p2 = rt.proc(1);
+  p2.run_lgc();
+  p2.take_snapshot();
+  const auto snap = p2.current_summary();
+  ASSERT_NE(snap, nullptr);
+
+  // Scion(F_P2).StubsFrom == {Q_P4}; Stub(Q_P4).ScionsTo == {F_P2},
+  // Local.Reach == false (the paper's summarized-graph example).
+  const ScionSummary* scion_f = snap->scion(fig.B_to_F);
+  ASSERT_NE(scion_f, nullptr);
+  ASSERT_EQ(scion_f->stubs_from.size(), 1u);
+  EXPECT_EQ(scion_f->stubs_from[0], fig.J_to_Q);
+
+  const StubSummary* stub_q = snap->stub(fig.J_to_Q);
+  ASSERT_NE(stub_q, nullptr);
+  EXPECT_FALSE(stub_q->local_reach);
+  ASSERT_EQ(stub_q->scions_to.size(), 1u);
+  EXPECT_EQ(stub_q->scions_to[0], fig.B_to_F);
+}
+
+TEST_F(DcdaFig3, RootedCycleIsNeverCollected) {
+  const Fig3 fig = build_fig3(rt);
+  sim::settle_manual(rt, 8);
+  // A is still a root: every object must survive, and the candidate F_P2
+  // must never be selected (its path is locally reachable through A→B).
+  for (ProcessId pid = 0; pid < 4; ++pid) {
+    EXPECT_GT(rt.proc(pid).heap().size(), 0u) << "process " << pid;
+  }
+  EXPECT_TRUE(rt.proc(1).heap().exists(fig.F.seq));
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 0u);
+}
+
+TEST_F(DcdaFig3, ManualDetectionFindsCycle) {
+  const Fig3 fig = build_fig3(rt);
+  rt.proc(0).remove_root(fig.A.seq);
+
+  // One LGC round everywhere: A is reclaimed at P1 (locally unreachable and
+  // no scion protects it), the ring survives via its scions.
+  for (ProcessId pid = 0; pid < 4; ++pid) rt.proc(pid).run_lgc();
+  rt.run_for(20'000);
+  EXPECT_FALSE(rt.proc(0).heap().exists(fig.A.seq));
+  EXPECT_TRUE(rt.proc(0).heap().exists(fig.B.seq));
+
+  // Snapshot everywhere, then probe the candidate F_P2 (the paper's choice).
+  for (ProcessId pid = 0; pid < 4; ++pid) rt.proc(pid).take_snapshot();
+  ASSERT_TRUE(rt.proc(1).detector().start_detection(fig.B_to_F, rt.now()));
+
+  // The CDM travels P2 → P4 → P3 → P1 → P2 (4 hops).
+  rt.run_for(100'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 1u);
+  // The candidate scion must be gone.
+  EXPECT_FALSE(rt.proc(1).scions().contains(fig.B_to_F));
+  // Exactly 4 CDMs were needed for this ring.
+  EXPECT_EQ(rt.total_metrics().cdms_sent.get(), 4u);
+
+  // The acyclic DGC unravels the rest.
+  sim::settle_manual(rt, 8);
+  const sim::GlobalStats st = sim::global_stats(rt);
+  EXPECT_EQ(st.total_objects, 0u);
+  EXPECT_EQ(st.stubs, 0u);
+  EXPECT_EQ(st.scions, 0u);
+}
+
+TEST_F(DcdaFig3, DetectionFromEveryEntryPoint) {
+  // Any of the four ring scions works as the candidate.
+  const Fig3 fig = build_fig3(rt);
+  rt.proc(0).remove_root(fig.A.seq);
+  for (ProcessId pid = 0; pid < 4; ++pid) rt.proc(pid).run_lgc();
+  rt.run_for(20'000);
+  for (ProcessId pid = 0; pid < 4; ++pid) rt.proc(pid).take_snapshot();
+
+  struct Entry {
+    ProcessId pid;
+    RefId ref;
+  };
+  const Entry entries[] = {
+      {1, fig.B_to_F}, {3, fig.J_to_Q}, {2, fig.S_to_O}, {0, fig.K_to_D}};
+  // Start from S_to_O's owner: scion for O lives at P3 (pid 2).
+  for (const Entry& e : entries) {
+    Runtime fresh(4, sim::manual_config(100 + e.pid));
+    const Fig3 g = build_fig3(fresh);
+    fresh.proc(0).remove_root(g.A.seq);
+    for (ProcessId pid = 0; pid < 4; ++pid) fresh.proc(pid).run_lgc();
+    fresh.run_for(20'000);
+    for (ProcessId pid = 0; pid < 4; ++pid) fresh.proc(pid).take_snapshot();
+    const RefId ref = e.ref == fig.B_to_F   ? g.B_to_F
+                      : e.ref == fig.J_to_Q ? g.J_to_Q
+                      : e.ref == fig.S_to_O ? g.S_to_O
+                                            : g.K_to_D;
+    ASSERT_TRUE(fresh.proc(e.pid).detector().start_detection(ref, fresh.now()))
+        << "entry " << e.pid;
+    fresh.run_for(100'000);
+    EXPECT_EQ(fresh.total_metrics().detections_cycle_found.get(), 1u)
+        << "entry " << e.pid;
+    sim::settle_manual(fresh, 8);
+    EXPECT_EQ(sim::global_stats(fresh).total_objects, 0u) << "entry " << e.pid;
+  }
+}
+
+TEST(DcdaFig3Auto, EndToEndAutomatic) {
+  Runtime rt(4, sim::fast_config(21));
+  const Fig3 fig = build_fig3(rt);
+  rt.run_for(200'000);
+  EXPECT_EQ(sim::global_stats(rt).garbage_objects, 0u);
+
+  rt.proc(0).remove_root(fig.A.seq);
+  rt.run_for(3'000'000);
+
+  const sim::GlobalStats st = sim::global_stats(rt);
+  EXPECT_EQ(st.total_objects, 0u) << "garbage ring not reclaimed";
+  EXPECT_EQ(st.scions, 0u);
+  EXPECT_EQ(st.stubs, 0u);
+  EXPECT_GE(rt.total_metrics().detections_cycle_found.get(), 1u);
+}
+
+}  // namespace
+}  // namespace adgc

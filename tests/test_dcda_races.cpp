@@ -1,0 +1,236 @@
+// Mutator–DCDA races: the paper's Fig. 2 (inconsistent independent
+// snapshots) and Fig. 5 (root switched onto an already-visited process
+// behind the detection's back). Safety comes from the invocation counters;
+// these tests script the exact adversarial interleavings.
+#include <gtest/gtest.h>
+
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/sim/scenarios.h"
+
+namespace adgc {
+namespace {
+
+void lgc_and_snapshot(Runtime& rt, ProcessId pid) {
+  rt.proc(pid).run_lgc();
+  rt.proc(pid).take_snapshot();
+}
+
+void snapshot_all(Runtime& rt) {
+  for (ProcessId pid = 0; pid < rt.size(); ++pid) lgc_and_snapshot(rt, pid);
+  rt.run_for(30'000);
+}
+
+// ---------------------------------------------------------------- Fig. 2
+
+struct Fig2World {
+  Runtime rt{3, sim::manual_config(33)};
+  ObjectId x, y, z;
+  RefId x_to_y, y_to_z, z_to_x;
+
+  Fig2World() {
+    x = ObjectId{0, rt.proc(0).create_object()};
+    y = ObjectId{1, rt.proc(1).create_object()};
+    z = ObjectId{2, rt.proc(2).create_object()};
+    x_to_y = rt.link(x, y);
+    y_to_z = rt.link(y, z);
+    z_to_x = rt.link(z, x);
+    rt.proc(0).add_root(x.seq);
+  }
+};
+
+TEST(DcdaFig2, InconsistentSnapshotsNeverYieldFalseCycle) {
+  Fig2World w;
+  Runtime& rt = w.rt;
+  snapshot_all(rt);  // S1(old), S2, S3 — the pre-mutation views
+
+  // Mutator (Fig. 2-b): P1 invokes y (creating a local root at P2 for y),
+  // then deletes its own root to x. Then P1 re-snapshots (S1).
+  rt.proc(0).invoke(w.x.seq, w.x_to_y, InvokeEffect::kPinRoot);
+  rt.run_for(30'000);  // invocation + reply complete
+  ASSERT_TRUE(rt.proc(1).heap().is_root(w.y.seq));
+  rt.proc(0).remove_root(w.x.seq);
+  lgc_and_snapshot(rt, 0);  // S1 taken after the invocation
+
+  // DCDA now combines P2's OLD snapshot with P1's NEW one — the paper's
+  // Fig. 2-c view, which looks like a garbage cycle. Probe it.
+  ASSERT_TRUE(rt.proc(1).detector().start_detection(w.x_to_y, rt.now()));
+  rt.run_for(300'000);
+
+  const Metrics m = rt.total_metrics();
+  EXPECT_EQ(m.detections_cycle_found.get(), 0u) << "false cycle detected!";
+  EXPECT_GE(m.detections_aborted_ic.get(), 1u) << "race not caught by counters";
+
+  // Everything is still alive (y is a root at P2 now).
+  sim::settle_manual(rt, 6);
+  EXPECT_TRUE(rt.proc(0).heap().exists(w.x.seq));
+  EXPECT_TRUE(rt.proc(1).heap().exists(w.y.seq));
+  EXPECT_TRUE(rt.proc(2).heap().exists(w.z.seq));
+}
+
+TEST(DcdaFig2, FreshSnapshotsAlsoSafe) {
+  // With up-to-date snapshots everywhere the candidate path is locally
+  // reachable at P2 (y is rooted): detection terminates negatively.
+  Fig2World w;
+  Runtime& rt = w.rt;
+  rt.proc(0).invoke(w.x.seq, w.x_to_y, InvokeEffect::kPinRoot);
+  rt.run_for(30'000);
+  rt.proc(0).remove_root(w.x.seq);
+  snapshot_all(rt);
+
+  rt.proc(1).detector().start_detection(w.x_to_y, rt.now());
+  rt.run_for(300'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 0u);
+  EXPECT_TRUE(rt.proc(0).heap().exists(w.x.seq));
+}
+
+TEST(DcdaFig2, CycleCollectsOnceMutationSettles) {
+  // Same interleaving but the root is NOT switched (no kPinRoot): the first
+  // detection aborts on the IC mismatch, a later one (fresh snapshots)
+  // succeeds — "detections for real cycles are never aborted" once views
+  // agree (§3.2).
+  Fig2World w;
+  Runtime& rt = w.rt;
+  snapshot_all(rt);
+
+  rt.proc(0).invoke(w.x.seq, w.x_to_y, InvokeEffect::kTouch);  // counter churn
+  rt.run_for(30'000);
+  rt.proc(0).remove_root(w.x.seq);
+  lgc_and_snapshot(rt, 0);
+
+  // Stale-P2-view probe: aborted by counters.
+  rt.proc(1).detector().start_detection(w.x_to_y, rt.now());
+  rt.run_for(300'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 0u);
+  EXPECT_GE(rt.total_metrics().detections_aborted_ic.get(), 1u);
+
+  // Fresh views: succeeds (probe from another entry; the aborted detection
+  // is still nominally in flight for x_to_y under the manual config).
+  snapshot_all(rt);
+  ASSERT_TRUE(rt.proc(2).detector().start_detection(w.y_to_z, rt.now()));
+  rt.run_for(300'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 1u);
+  sim::settle_manual(rt, 6);
+  EXPECT_EQ(sim::global_stats(rt).total_objects, 0u);
+}
+
+// ---------------------------------------------------------------- Fig. 5
+
+TEST(DcdaFig5, RootSwitchBehindDetectionIsCaught) {
+  Runtime rt(5, sim::manual_config(55));
+  const sim::Fig5 fig = sim::build_fig5(rt);
+  snapshot_all(rt);  // pre-mutation views; Local.Reach(B→F stub) = true at P1
+
+  // Mutator events 1..11 (abridged to their reachability effects):
+  //  * P1 invokes through B's reference to F (bumps F's counters);
+  //  * P2's F exports J to P3's M (M now keeps the cycle reachable);
+  //  * P1's A loses the root path.
+  rt.proc(0).invoke(fig.B.seq, fig.B_to_F, InvokeEffect::kTouch);
+  rt.run_for(30'000);
+  rt.proc(1).invoke(fig.F.seq, fig.F_to_M, InvokeEffect::kStoreArgs,
+                    {ArgRef::own(fig.J.seq)});
+  rt.run_for(60'000);  // handshake + invocation + reply
+  // M must now hold a reference to J.
+  ASSERT_EQ(rt.proc(2).heap().find(fig.M.seq)->remote_fields.size(), 1u);
+  rt.proc(0).remove_root(fig.A.seq);
+
+  // P1 refreshes its snapshot AFTER the root erasure (event 11 ≺ iii):
+  // its stub to F is no longer locally reachable.
+  lgc_and_snapshot(rt, 0);
+
+  // Detection at P2 with P2's OLD snapshot: would trace the whole "cycle"
+  // without ever seeing a local root — the counters must abort it.
+  ASSERT_TRUE(rt.proc(1).detector().start_detection(fig.B_to_F, rt.now()));
+  rt.run_for(400'000);
+
+  const Metrics m = rt.total_metrics();
+  EXPECT_EQ(m.detections_cycle_found.get(), 0u) << "Fig. 5 race not caught";
+  EXPECT_GE(m.detections_aborted_ic.get(), 1u);
+
+  // The structure is genuinely alive through P3's root → M → J.
+  sim::settle_manual(rt, 8);
+  EXPECT_TRUE(rt.proc(1).heap().exists(fig.F.seq));
+  EXPECT_TRUE(rt.proc(1).heap().exists(fig.J.seq));
+  EXPECT_TRUE(rt.proc(4).heap().exists(fig.V.seq));
+  EXPECT_TRUE(rt.proc(3).heap().exists(fig.T.seq));
+  EXPECT_TRUE(rt.proc(0).heap().exists(fig.D.seq));
+  EXPECT_TRUE(rt.proc(0).heap().exists(fig.B.seq));
+}
+
+TEST(DcdaFig5, FreshViewsSeeTheNewDependency) {
+  // After every process re-snapshots, the J scion (held by P3's M) shows up
+  // as an unresolved dependency: still no false cycle.
+  Runtime rt(5, sim::manual_config(56));
+  const sim::Fig5 fig = sim::build_fig5(rt);
+  snapshot_all(rt);
+  rt.proc(1).invoke(fig.F.seq, fig.F_to_M, InvokeEffect::kStoreArgs,
+                    {ArgRef::own(fig.J.seq)});
+  rt.run_for(60'000);
+  rt.proc(0).remove_root(fig.A.seq);
+  snapshot_all(rt);
+
+  ASSERT_TRUE(rt.proc(1).detector().start_detection(fig.B_to_F, rt.now()));
+  rt.run_for(400'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 0u);
+  EXPECT_TRUE(rt.proc(1).heap().exists(fig.J.seq));
+}
+
+TEST(DcdaFig5, CollectsOnceTrulyGarbage) {
+  // Full lifecycle: race (abort), then M drops its reference, then the
+  // cycle is real garbage and is reclaimed.
+  Runtime rt(5, sim::manual_config(57));
+  const sim::Fig5 fig = sim::build_fig5(rt);
+  snapshot_all(rt);
+  rt.proc(1).invoke(fig.F.seq, fig.F_to_M, InvokeEffect::kStoreArgs,
+                    {ArgRef::own(fig.J.seq)});
+  rt.run_for(60'000);
+  rt.proc(0).remove_root(fig.A.seq);
+  snapshot_all(rt);
+
+  // M drops the reference to J; the acyclic DGC clears the J scion.
+  HeapObject* m_obj = rt.proc(2).heap().find(fig.M.seq);
+  ASSERT_NE(m_obj, nullptr);
+  ASSERT_EQ(m_obj->remote_fields.size(), 1u);
+  const RefId m_to_j = m_obj->remote_fields[0];
+  rt.proc(2).remove_remote_ref(fig.M.seq, m_to_j);
+  rt.proc(2).run_lgc();
+  rt.run_for(50'000);
+  EXPECT_FALSE(rt.proc(1).scions().contains(m_to_j));
+
+  snapshot_all(rt);
+  ASSERT_TRUE(rt.proc(1).detector().start_detection(fig.B_to_F, rt.now()));
+  rt.run_for(400'000);
+  EXPECT_EQ(rt.total_metrics().detections_cycle_found.get(), 1u);
+
+  sim::settle_manual(rt, 8);
+  const sim::GlobalStats st = sim::global_stats(rt);
+  // Only M (P3's root) survives.
+  EXPECT_EQ(st.total_objects, 1u);
+  EXPECT_TRUE(rt.proc(2).heap().exists(fig.M.seq));
+}
+
+TEST(DcdaFig5, AutomaticRuntimeHandlesTheRace) {
+  // Under fully automatic timers with aggressive scanning, the same story:
+  // never a false collection while M holds the cycle, full collection after.
+  Runtime rt(5, sim::fast_config(58));
+  const sim::Fig5 fig = sim::build_fig5(rt);
+  rt.run_for(100'000);
+  rt.proc(1).invoke(fig.F.seq, fig.F_to_M, InvokeEffect::kStoreArgs,
+                    {ArgRef::own(fig.J.seq)});
+  rt.run_for(100'000);
+  rt.proc(0).remove_root(fig.A.seq);
+  rt.run_for(3'000'000);
+  // Alive through M.
+  EXPECT_TRUE(rt.proc(1).heap().exists(fig.F.seq));
+  EXPECT_TRUE(rt.proc(0).heap().exists(fig.D.seq));
+
+  HeapObject* m_obj = rt.proc(2).heap().find(fig.M.seq);
+  ASSERT_NE(m_obj, nullptr);
+  ASSERT_FALSE(m_obj->remote_fields.empty());
+  rt.proc(2).remove_remote_ref(fig.M.seq, m_obj->remote_fields[0]);
+  rt.run_for(4'000'000);
+  EXPECT_EQ(sim::global_stats(rt).total_objects, 1u);  // M only
+}
+
+}  // namespace
+}  // namespace adgc

@@ -1,0 +1,93 @@
+// Unit tests for the per-process heap.
+#include <gtest/gtest.h>
+
+#include "src/rt/heap.h"
+
+namespace adgc {
+namespace {
+
+TEST(Heap, AllocateAssignsFreshSeqs) {
+  Heap h;
+  const ObjectSeq a = h.allocate();
+  const ObjectSeq b = h.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(h.exists(a));
+  EXPECT_TRUE(h.exists(b));
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(Heap, SeqsNeverReused) {
+  Heap h;
+  const ObjectSeq a = h.allocate();
+  h.remove(a);
+  const ObjectSeq b = h.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(h.exists(a));
+}
+
+TEST(Heap, PayloadSized) {
+  Heap h;
+  const ObjectSeq a = h.allocate(128);
+  EXPECT_EQ(h.find(a)->payload.size(), 128u);
+}
+
+TEST(Heap, RootsSetSemantics) {
+  Heap h;
+  const ObjectSeq a = h.allocate();
+  h.add_root(a);
+  h.add_root(a);
+  EXPECT_TRUE(h.is_root(a));
+  EXPECT_EQ(h.roots().size(), 1u);
+  h.remove_root(a);
+  EXPECT_FALSE(h.is_root(a));
+}
+
+TEST(Heap, LocalFieldsMultiset) {
+  Heap h;
+  const ObjectSeq a = h.allocate();
+  const ObjectSeq b = h.allocate();
+  h.add_local_field(a, b);
+  h.add_local_field(a, b);
+  EXPECT_EQ(h.find(a)->local_fields.size(), 2u);
+  EXPECT_TRUE(h.remove_local_field(a, b));
+  EXPECT_EQ(h.find(a)->local_fields.size(), 1u);
+  EXPECT_TRUE(h.remove_local_field(a, b));
+  EXPECT_FALSE(h.remove_local_field(a, b));
+}
+
+TEST(Heap, RemoteFieldsMultiset) {
+  Heap h;
+  const ObjectSeq a = h.allocate();
+  const RefId r = make_ref_id(1, 1);
+  h.add_remote_field(a, r);
+  h.add_remote_field(a, r);
+  EXPECT_EQ(h.find(a)->remote_fields.size(), 2u);
+  EXPECT_TRUE(h.remove_remote_field(a, r));
+  EXPECT_TRUE(h.remove_remote_field(a, r));
+  EXPECT_FALSE(h.remove_remote_field(a, r));
+}
+
+TEST(Heap, AddFieldValidatesEndpoints) {
+  Heap h;
+  const ObjectSeq a = h.allocate();
+  EXPECT_THROW(h.add_local_field(a, 999), std::invalid_argument);
+  EXPECT_THROW(h.add_local_field(999, a), std::invalid_argument);
+  EXPECT_THROW(h.add_remote_field(999, make_ref_id(0, 0)), std::invalid_argument);
+}
+
+TEST(Heap, SelfReferenceAllowed) {
+  Heap h;
+  const ObjectSeq a = h.allocate();
+  h.add_local_field(a, a);
+  EXPECT_EQ(h.find(a)->local_fields.size(), 1u);
+}
+
+TEST(Heap, FindMissingReturnsNull) {
+  Heap h;
+  EXPECT_EQ(h.find(42), nullptr);
+  const Heap& ch = h;
+  EXPECT_EQ(ch.find(42), nullptr);
+}
+
+}  // namespace
+}  // namespace adgc

@@ -1,0 +1,243 @@
+// Incremental summarizer: memo reuse/invalidation rules, and equivalence
+// with the stateless summarizers across randomized mutation sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/snapshot/summarizer.h"
+
+namespace adgc {
+namespace {
+
+bool summaries_equal(const SummarizedGraph& a, const SummarizedGraph& b) {
+  if (a.scions.size() != b.scions.size() || a.stubs.size() != b.stubs.size()) return false;
+  for (const auto& [ref, sa] : a.scions) {
+    const ScionSummary* sb = b.scion(ref);
+    if (!sb || sa.ic != sb->ic || sa.stubs_from != sb->stubs_from) return false;
+  }
+  for (const auto& [ref, ta] : a.stubs) {
+    const StubSummary* tb = b.stub(ref);
+    if (!tb || ta.ic != tb->ic || ta.local_reach != tb->local_reach ||
+        ta.scions_to != tb->scions_to) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Small mutable world whose snapshots feed both summarizers.
+struct World {
+  Heap heap;
+  StubTable stubs;
+  ScionTable scions;
+
+  SnapshotData snap() const { return capture_snapshot(0, 0, heap, stubs, scions); }
+};
+
+TEST(Incremental, FirstCallComputesEverything) {
+  World w;
+  const ObjectSeq a = w.heap.allocate();
+  const ObjectSeq b = w.heap.allocate();
+  w.heap.add_local_field(a, b);
+  w.stubs.ensure(make_ref_id(0, 1), ObjectId{1, 1}, 0);
+  w.heap.add_remote_field(b, make_ref_id(0, 1));
+  w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+
+  IncrementalSummarizer inc;
+  const SummarizedGraph g = inc.summarize(w.snap());
+  EXPECT_EQ(inc.last_recomputed(), 1u);
+  EXPECT_EQ(inc.last_reused(), 0u);
+  EXPECT_EQ(g.scion(make_ref_id(9, 1))->stubs_from,
+            std::vector<RefId>{make_ref_id(0, 1)});
+}
+
+TEST(Incremental, UnchangedSnapshotReusesMemo) {
+  World w;
+  const ObjectSeq a = w.heap.allocate();
+  w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+  IncrementalSummarizer inc;
+  inc.summarize(w.snap());
+  inc.summarize(w.snap());
+  EXPECT_EQ(inc.last_recomputed(), 0u);
+  EXPECT_EQ(inc.last_reused(), 1u);
+}
+
+TEST(Incremental, ChangeInVisitedRegionInvalidates) {
+  World w;
+  const ObjectSeq a = w.heap.allocate();
+  const ObjectSeq b = w.heap.allocate();
+  w.heap.add_local_field(a, b);
+  w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+  IncrementalSummarizer inc;
+  inc.summarize(w.snap());
+
+  // Mutate a visited object: new outgoing stub from b.
+  w.stubs.ensure(make_ref_id(0, 5), ObjectId{1, 1}, 0);
+  w.heap.add_remote_field(b, make_ref_id(0, 5));
+  const SummarizedGraph g = inc.summarize(w.snap());
+  EXPECT_EQ(inc.last_recomputed(), 1u);
+  EXPECT_EQ(g.scion(make_ref_id(9, 1))->stubs_from,
+            std::vector<RefId>{make_ref_id(0, 5)});
+}
+
+TEST(Incremental, ChangeOutsideVisitedRegionReuses) {
+  World w;
+  const ObjectSeq a = w.heap.allocate();  // scion region
+  const ObjectSeq z = w.heap.allocate();  // unrelated
+  w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+  IncrementalSummarizer inc;
+  inc.summarize(w.snap());
+
+  const ObjectSeq z2 = w.heap.allocate();
+  w.heap.add_local_field(z, z2);  // touch only the unrelated region
+  inc.summarize(w.snap());
+  EXPECT_EQ(inc.last_recomputed(), 0u);
+  EXPECT_EQ(inc.last_reused(), 1u);
+}
+
+TEST(Incremental, DeletedVisitedObjectInvalidates) {
+  World w;
+  const ObjectSeq a = w.heap.allocate();
+  const ObjectSeq b = w.heap.allocate();
+  w.heap.add_local_field(a, b);
+  w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+  IncrementalSummarizer inc;
+  inc.summarize(w.snap());
+
+  w.heap.remove_local_field(a, b);
+  w.heap.remove(b);
+  inc.summarize(w.snap());
+  EXPECT_EQ(inc.last_recomputed(), 1u);
+}
+
+TEST(Incremental, VanishedStubInvalidatesMemo) {
+  World w;
+  const ObjectSeq a = w.heap.allocate();
+  const RefId r = make_ref_id(0, 1);
+  w.stubs.ensure(r, ObjectId{1, 1}, 0);
+  w.heap.add_remote_field(a, r);
+  w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+  IncrementalSummarizer inc;
+  inc.summarize(w.snap());
+
+  // The stub disappears but the object's fields still name it (dangling
+  // reference, as after a stub-table-only change).
+  w.stubs.erase(r);
+  const SummarizedGraph g = inc.summarize(w.snap());
+  EXPECT_TRUE(g.scion(make_ref_id(9, 1))->stubs_from.empty());
+}
+
+TEST(Incremental, NewScionComputed) {
+  World w;
+  const ObjectSeq a = w.heap.allocate();
+  w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+  IncrementalSummarizer inc;
+  inc.summarize(w.snap());
+
+  const ObjectSeq b = w.heap.allocate();
+  w.scions.ensure(make_ref_id(9, 2), 9, b, 0);
+  inc.summarize(w.snap());
+  // b is a new object → also in the changed set; the new scion computes,
+  // the old one reuses.
+  EXPECT_EQ(inc.last_recomputed(), 1u);
+  EXPECT_EQ(inc.last_reused(), 1u);
+}
+
+TEST(Incremental, IcOnlyChangesReuseButRefreshIcs) {
+  World w;
+  const ObjectSeq a = w.heap.allocate();
+  auto& sc = w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+  IncrementalSummarizer inc;
+  inc.summarize(w.snap());
+
+  sc.ic = 42;  // invocation counters change without structural mutation
+  const SummarizedGraph g = inc.summarize(w.snap());
+  EXPECT_EQ(inc.last_reused(), 1u);
+  EXPECT_EQ(g.scion(make_ref_id(9, 1))->ic, 42u);
+}
+
+// --- equivalence sweep: incremental vs BFS over random mutation traces ---
+
+class IncrementalEquiv : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalEquiv, MatchesStatelessAcrossMutations) {
+  Rng rng(GetParam());
+  World w;
+  std::vector<ObjectSeq> objs;
+  for (int i = 0; i < 20; ++i) objs.push_back(w.heap.allocate());
+  for (int i = 0; i < 6; ++i) {
+    w.stubs.ensure(make_ref_id(0, static_cast<std::uint64_t>(i + 1)),
+                   ObjectId{1, static_cast<ObjectSeq>(i)}, 0);
+  }
+  for (int i = 0; i < 6; ++i) {
+    w.scions.ensure(make_ref_id(9, static_cast<std::uint64_t>(i + 1)), 9,
+                    objs[static_cast<std::size_t>(i)], 0);
+  }
+  w.heap.add_root(objs[0]);
+
+  IncrementalSummarizer inc;
+  BfsSummarizer bfs;
+  for (int round = 0; round < 30; ++round) {
+    // Random structural mutations.
+    for (int m = 0; m < 4; ++m) {
+      const auto op = rng.below(4);
+      const ObjectSeq from = objs[rng.below(objs.size())];
+      if (op == 0) {
+        w.heap.add_local_field(from, objs[rng.below(objs.size())]);
+      } else if (op == 1) {
+        HeapObject* o = w.heap.find(from);
+        if (o && !o->local_fields.empty()) {
+          w.heap.remove_local_field(from, o->local_fields[0]);
+        }
+      } else if (op == 2) {
+        w.heap.add_remote_field(from, make_ref_id(0, 1 + rng.below(6)));
+      } else {
+        HeapObject* o = w.heap.find(from);
+        if (o && !o->remote_fields.empty()) {
+          w.heap.remove_remote_field(from, o->remote_fields[0]);
+        }
+      }
+    }
+    // Random IC churn.
+    if (rng.chance(0.5)) {
+      auto it = w.scions.begin();
+      std::advance(it, static_cast<long>(rng.below(w.scions.size())));
+      it->second.ic += 1;
+    }
+    const SnapshotData snap = w.snap();
+    const SummarizedGraph a = inc.summarize(snap);
+    const SummarizedGraph b = bfs.summarize(snap);
+    ASSERT_TRUE(summaries_equal(a, b)) << "seed=" << GetParam() << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquiv,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// --- end-to-end: the full collector stack with the incremental summarizer.
+
+TEST(Incremental, EndToEndCollection) {
+  RuntimeConfig cfg = sim::fast_config(99);
+  cfg.proc.summarizer = ProcessConfig::SummarizerKind::kIncremental;
+  Runtime rt(4, cfg);
+  const auto ring = sim::global_stats(rt);
+  (void)ring;
+  const ObjectId a{0, rt.proc(0).create_object()};
+  const ObjectId b{1, rt.proc(1).create_object()};
+  const ObjectId c{2, rt.proc(2).create_object()};
+  rt.proc(0).add_root(a.seq);
+  rt.link(a, b);
+  rt.link(b, c);
+  rt.link(c, a);
+  rt.run_for(300'000);
+  EXPECT_EQ(sim::global_stats(rt).garbage_objects, 0u);
+  rt.proc(0).remove_root(a.seq);
+  rt.run_for(3'000'000);
+  EXPECT_EQ(sim::global_stats(rt).total_objects, 0u);
+}
+
+}  // namespace
+}  // namespace adgc

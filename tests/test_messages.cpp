@@ -1,0 +1,177 @@
+// Wire codec round-trip tests for every message type, plus malformed-input
+// rejection.
+#include <gtest/gtest.h>
+
+#include "src/net/message.h"
+
+namespace adgc {
+namespace {
+
+template <typename T>
+T round_trip(const T& msg) {
+  const auto bytes = encode_message(MessagePayload{msg});
+  const MessagePayload decoded = decode_message(bytes);
+  const T* out = std::get_if<T>(&decoded);
+  EXPECT_NE(out, nullptr) << "decoded to a different alternative";
+  return out ? *out : T{};
+}
+
+TEST(Messages, InvokeRoundTrip) {
+  InvokeMsg m;
+  m.ref = make_ref_id(1, 5);
+  m.ic = 42;
+  m.target = ObjectId{2, 7};
+  m.caller = ObjectId{1, 3};
+  m.effect = InvokeEffect::kStoreArgs;
+  m.args = {{make_ref_id(1, 6), ObjectId{3, 9}}, {kNoRef, ObjectId{2, 1}}};
+  m.want_reply = true;
+  m.call_id = 77;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, InvokeEmptyArgs) {
+  InvokeMsg m;
+  m.ref = make_ref_id(9, 1);
+  m.effect = InvokeEffect::kTouch;
+  m.want_reply = false;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, ReplyRoundTrip) {
+  ReplyMsg m;
+  m.ref = make_ref_id(4, 4);
+  m.ic = 1234567890123ULL;
+  m.call_id = 55;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, NewSetStubsRoundTrip) {
+  NewSetStubsMsg m;
+  m.export_seq = 17;
+  m.live = {make_ref_id(0, 1), make_ref_id(0, 2), make_ref_id(5, 900)};
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, NewSetStubsEmpty) {
+  NewSetStubsMsg m;
+  m.export_seq = 1;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, AddScionRoundTrip) {
+  AddScionMsg m;
+  m.ref = make_ref_id(3, 14);
+  m.target_seq = 159;
+  m.holder = 26;
+  m.handshake = 535;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, AddScionAckRoundTrip) {
+  AddScionAckMsg m;
+  m.ref = make_ref_id(2, 71);
+  m.handshake = 828;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, CdmRoundTrip) {
+  CdmMsg m;
+  m.detection = DetectionId{2, 99};
+  m.candidate = make_ref_id(2, 1);
+  m.via = make_ref_id(3, 7);
+  m.via_ic = 4;
+  m.hops = 12;
+  m.source = {{make_ref_id(2, 1), 4}, {make_ref_id(4, 2), 0}};
+  m.target = {{make_ref_id(3, 7), 4}};
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, BacktraceRoundTrip) {
+  BacktraceRequestMsg rq;
+  rq.trace_id = 7;
+  rq.req_id = 13;
+  rq.subject_ref = make_ref_id(1, 1);
+  rq.visited = {make_ref_id(1, 1), make_ref_id(2, 2)};
+  rq.depth = 3;
+  EXPECT_EQ(round_trip(rq), rq);
+
+  BacktraceReplyMsg rp;
+  rp.trace_id = 7;
+  rp.req_id = 13;
+  rp.reachable = true;
+  EXPECT_EQ(round_trip(rp), rp);
+}
+
+TEST(Messages, GlobalTraceRoundTrips) {
+  GtStartMsg st;
+  st.epoch = 3;
+  st.epoch_start = 123456789;
+  EXPECT_EQ(round_trip(st), st);
+
+  GtMarkMsg mk;
+  mk.epoch = 3;
+  mk.ref = make_ref_id(7, 8);
+  EXPECT_EQ(round_trip(mk), mk);
+
+  GtPollMsg pl;
+  pl.epoch = 3;
+  pl.poll_seq = 11;
+  EXPECT_EQ(round_trip(pl), pl);
+
+  GtStatusMsg su;
+  su.epoch = 3;
+  su.poll_seq = 11;
+  su.marks_sent = 100;
+  su.marks_processed = 99;
+  EXPECT_EQ(round_trip(su), su);
+
+  GtFinishMsg fi;
+  fi.epoch = 3;
+  EXPECT_EQ(round_trip(fi), fi);
+}
+
+TEST(Messages, UnknownTagRejected) {
+  std::vector<std::byte> bytes = {std::byte{0xEE}};
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(Messages, EmptyBufferRejected) {
+  EXPECT_THROW(decode_message(std::vector<std::byte>{}), DecodeError);
+}
+
+TEST(Messages, TruncatedRejected) {
+  InvokeMsg m;
+  m.ref = make_ref_id(1, 5);
+  auto bytes = encode_message(MessagePayload{m});
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 3) {
+    std::vector<std::byte> trunc(bytes.begin(),
+                                 bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_message(trunc), DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(Messages, TrailingGarbageRejected) {
+  ReplyMsg m;
+  m.ref = make_ref_id(1, 1);
+  auto bytes = encode_message(MessagePayload{m});
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(Messages, BadInvokeEffectRejected) {
+  InvokeMsg m;
+  m.ref = make_ref_id(1, 5);
+  auto bytes = encode_message(MessagePayload{m});
+  // The effect byte sits after tag(1)+ref(8)+ic(8)+target(12)+caller(12).
+  bytes[1 + 8 + 8 + 12 + 12] = std::byte{200};
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(Messages, KindNames) {
+  EXPECT_STREQ(message_kind(MessagePayload{InvokeMsg{}}), "Invoke");
+  EXPECT_STREQ(message_kind(MessagePayload{CdmMsg{}}), "Cdm");
+  EXPECT_STREQ(message_kind(MessagePayload{NewSetStubsMsg{}}), "NewSetStubs");
+}
+
+}  // namespace
+}  // namespace adgc

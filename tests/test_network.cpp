@@ -1,0 +1,181 @@
+// Tests for the simulated network (fault injection, determinism, FIFO mode)
+// and the deterministic runtime's event machinery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/sim_network.h"
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+
+namespace adgc {
+namespace {
+
+struct Delivery {
+  SimTime when;
+  Envelope env;
+};
+
+struct NetFixture {
+  NetworkConfig cfg;
+  std::vector<Delivery> deliveries;
+  Metrics metrics;
+
+  SimNetwork make(std::uint64_t seed = 1) {
+    return SimNetwork(
+        cfg, Rng(seed),
+        [this](SimTime when, Envelope env) { deliveries.push_back({when, std::move(env)}); },
+        &metrics);
+  }
+
+  static Envelope env(ProcessId src, ProcessId dst) {
+    Envelope e;
+    e.src = src;
+    e.dst = dst;
+    e.bytes = encode_message(MessagePayload{ReplyMsg{}});
+    return e;
+  }
+};
+
+TEST(SimNetwork, DeliversWithLatency) {
+  NetFixture f;
+  f.cfg.min_latency_us = 100;
+  auto net = f.make();
+  net.send(1000, NetFixture::env(0, 1));
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_GE(f.deliveries[0].when, 1100u);
+  EXPECT_EQ(f.metrics.messages_sent.get(), 1u);
+}
+
+TEST(SimNetwork, TotalLossDropsEverything) {
+  NetFixture f;
+  f.cfg.loss_probability = 1.0;
+  auto net = f.make();
+  for (int i = 0; i < 20; ++i) net.send(0, NetFixture::env(0, 1));
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.metrics.messages_lost.get(), 20u);
+}
+
+TEST(SimNetwork, LossRateApproximatelyRespected) {
+  NetFixture f;
+  f.cfg.loss_probability = 0.3;
+  auto net = f.make(7);
+  for (int i = 0; i < 2000; ++i) net.send(0, NetFixture::env(0, 1));
+  const double rate = static_cast<double>(f.metrics.messages_lost.get()) / 2000.0;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(SimNetwork, DuplicationDeliversTwice) {
+  NetFixture f;
+  f.cfg.duplicate_probability = 1.0;
+  auto net = f.make();
+  net.send(0, NetFixture::env(0, 1));
+  EXPECT_EQ(f.deliveries.size(), 2u);
+  EXPECT_EQ(f.metrics.messages_duplicated.get(), 1u);
+}
+
+TEST(SimNetwork, PartitionBlocksDirectionally) {
+  NetFixture f;
+  auto net = f.make();
+  net.set_link_blocked(0, 1, true);
+  net.send(0, NetFixture::env(0, 1));
+  EXPECT_TRUE(f.deliveries.empty());
+  net.send(0, NetFixture::env(1, 0));  // reverse direction still open
+  EXPECT_EQ(f.deliveries.size(), 1u);
+  net.set_link_blocked(0, 1, false);
+  net.send(0, NetFixture::env(0, 1));
+  EXPECT_EQ(f.deliveries.size(), 2u);
+}
+
+TEST(SimNetwork, FifoModePreservesOrder) {
+  NetFixture f;
+  f.cfg.fifo_links = true;
+  f.cfg.mean_latency_us = 10'000;  // huge variance without FIFO
+  auto net = f.make(3);
+  for (int i = 0; i < 50; ++i) net.send(static_cast<SimTime>(i), NetFixture::env(0, 1));
+  ASSERT_EQ(f.deliveries.size(), 50u);
+  for (std::size_t i = 1; i < f.deliveries.size(); ++i) {
+    EXPECT_GT(f.deliveries[i].when, f.deliveries[i - 1].when);
+  }
+}
+
+TEST(SimNetwork, NonFifoCanReorder) {
+  NetFixture f;
+  f.cfg.fifo_links = false;
+  f.cfg.mean_latency_us = 10'000;
+  auto net = f.make(3);
+  for (int i = 0; i < 50; ++i) net.send(static_cast<SimTime>(i), NetFixture::env(0, 1));
+  bool reordered = false;
+  for (std::size_t i = 1; i < f.deliveries.size(); ++i) {
+    if (f.deliveries[i].when < f.deliveries[i - 1].when) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(SimNetwork, SameSeedSameSchedule) {
+  NetFixture a, b;
+  a.cfg.loss_probability = b.cfg.loss_probability = 0.2;
+  a.cfg.duplicate_probability = b.cfg.duplicate_probability = 0.1;
+  auto na = a.make(99);
+  auto nb = b.make(99);
+  for (int i = 0; i < 100; ++i) {
+    na.send(static_cast<SimTime>(i * 10), NetFixture::env(0, 1));
+    nb.send(static_cast<SimTime>(i * 10), NetFixture::env(0, 1));
+  }
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_EQ(a.deliveries[i].when, b.deliveries[i].when);
+  }
+}
+
+// ---- runtime-level determinism: identical seeds → identical evolution ----
+
+TEST(Runtime, FullyDeterministicFromSeed) {
+  auto run = [](std::uint64_t seed) {
+    RuntimeConfig cfg = sim::fast_config(seed);
+    cfg.net.loss_probability = 0.1;
+    Runtime rt(4, cfg);
+    const ObjectId a{0, rt.proc(0).create_object()};
+    const ObjectId b{1, rt.proc(1).create_object()};
+    const ObjectId c{2, rt.proc(2).create_object()};
+    rt.proc(0).add_root(a.seq);
+    const RefId r1 = rt.link(a, b);
+    rt.link(b, c);
+    rt.link(c, a);
+    rt.proc(0).invoke(a.seq, r1, InvokeEffect::kTouch);
+    rt.run_for(2'000'000);
+    const Metrics m = rt.total_metrics();
+    return std::tuple{m.messages_sent.get(), m.messages_lost.get(),
+                      m.cdms_sent.get(), sim::global_stats(rt).total_objects};
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(run(123), run(456));  // and seeds actually matter
+}
+
+TEST(Runtime, TimeAdvancesMonotonically) {
+  Runtime rt(2, sim::fast_config(1));
+  const SimTime t0 = rt.now();
+  rt.run_for(1000);
+  EXPECT_GE(rt.now(), t0 + 1000);
+  rt.run_for(0);
+  EXPECT_GE(rt.now(), t0 + 1000);
+}
+
+TEST(Runtime, StepExecutesOneEvent) {
+  Runtime rt(2, sim::fast_config(2));
+  // The periodic timers guarantee a non-empty queue.
+  EXPECT_GT(rt.pending_events(), 0u);
+  const std::size_t before = rt.pending_events();
+  rt.step();
+  // One popped; it may have scheduled successors, so only a weak bound.
+  EXPECT_GE(rt.pending_events() + 1, before);
+}
+
+TEST(Runtime, LinkValidatesOwnership) {
+  Runtime rt(2, sim::fast_config(3));
+  const ObjectId a{0, rt.proc(0).create_object()};
+  EXPECT_THROW(rt.link(a, ObjectId{1, 999}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adgc

@@ -1,0 +1,197 @@
+// Remote invocation machinery: invocation counters, reference export/import
+// (own-object and third-party with the scion-first handshake), invoke
+// effects, replies, and the Table-1 DGC-off mode.
+#include <gtest/gtest.h>
+
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+
+namespace adgc {
+namespace {
+
+class Rmi : public ::testing::Test {
+ protected:
+  Rmi() : rt(3, sim::manual_config(71)) {
+    a = ObjectId{0, rt.proc(0).create_object()};
+    b = ObjectId{1, rt.proc(1).create_object()};
+    c = ObjectId{2, rt.proc(2).create_object()};
+    rt.proc(0).add_root(a.seq);
+    rt.proc(1).add_root(b.seq);
+    rt.proc(2).add_root(c.seq);
+    a_to_b = rt.link(a, b);
+  }
+
+  Runtime rt;
+  ObjectId a, b, c;
+  RefId a_to_b;
+};
+
+TEST_F(Rmi, InvocationBumpsCountersBothSides) {
+  const auto ic0_stub = rt.proc(0).stubs().find(a_to_b)->ic;
+  const auto ic0_scion = rt.proc(1).scions().find(a_to_b)->ic;
+  EXPECT_EQ(ic0_stub, ic0_scion);
+
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kTouch);
+  rt.run_for(50'000);  // call + reply
+
+  const auto ic1_stub = rt.proc(0).stubs().find(a_to_b)->ic;
+  const auto ic1_scion = rt.proc(1).scions().find(a_to_b)->ic;
+  // Call bumps once, reply bumps once: +2 total, both sides agree again.
+  EXPECT_EQ(ic1_stub, ic0_stub + 2);
+  EXPECT_EQ(ic1_scion, ic1_stub);
+}
+
+TEST_F(Rmi, InvocationConfirmsScion) {
+  EXPECT_FALSE(rt.proc(1).scions().find(a_to_b)->confirmed);
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kTouch);
+  rt.run_for(50'000);
+  EXPECT_TRUE(rt.proc(1).scions().find(a_to_b)->confirmed);
+}
+
+TEST_F(Rmi, NoReplyModeBumpsOnce) {
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kTouch, {}, /*want_reply=*/false);
+  rt.run_for(50'000);
+  EXPECT_EQ(rt.proc(0).stubs().find(a_to_b)->ic, 1u);
+  EXPECT_EQ(rt.proc(1).scions().find(a_to_b)->ic, 1u);
+  EXPECT_EQ(rt.total_metrics().replies_sent.get(), 0u);
+}
+
+TEST_F(Rmi, PinAndUnpinRootEffects) {
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kPinRoot);
+  rt.run_for(50'000);
+  EXPECT_TRUE(rt.proc(1).heap().is_root(b.seq));
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kUnpinRoot);
+  rt.run_for(50'000);
+  EXPECT_FALSE(rt.proc(1).heap().is_root(b.seq));
+}
+
+TEST_F(Rmi, ExportOwnObjectCreatesScionEagerly) {
+  // a invokes b, passing a fresh object of P0 as argument.
+  const ObjectSeq arg = rt.proc(0).create_object();
+  rt.proc(0).add_root(arg);  // keep it alive at the source
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kStoreArgs, {ArgRef::own(arg)});
+  // Scion exists at P0 immediately (before any message flows).
+  bool found = false;
+  for (const auto& [ref, sc] : rt.proc(0).scions()) {
+    if (sc.target == arg && sc.holder == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+
+  rt.run_for(50'000);
+  // b now holds a remote field to the exported object.
+  const HeapObject* bo = rt.proc(1).heap().find(b.seq);
+  ASSERT_EQ(bo->remote_fields.size(), 1u);
+  const StubEntry* stub = rt.proc(1).stubs().find(bo->remote_fields[0]);
+  ASSERT_NE(stub, nullptr);
+  EXPECT_EQ(stub->target, (ObjectId{0, arg}));
+}
+
+TEST_F(Rmi, ThirdPartyExportRunsHandshake) {
+  // a holds a ref to b and a ref to c; it passes the c-reference to b.
+  const RefId a_to_c = rt.link(a, c);
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kStoreArgs, {ArgRef::held(a_to_c)});
+  // The invocation is parked until C acks the AddScion.
+  EXPECT_EQ(rt.proc(0).pending_exports(), 1u);
+  rt.run_for(100'000);
+  EXPECT_EQ(rt.proc(0).pending_exports(), 0u);
+
+  // b now holds a new reference to c, and c has a scion for holder P1.
+  const HeapObject* bo = rt.proc(1).heap().find(b.seq);
+  ASSERT_EQ(bo->remote_fields.size(), 1u);
+  const RefId new_ref = bo->remote_fields[0];
+  EXPECT_NE(new_ref, a_to_c);  // fresh reference identity
+  const ScionEntry* sc = rt.proc(2).scions().find(new_ref);
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(sc->holder, 1u);
+  EXPECT_EQ(sc->target, c.seq);
+  EXPECT_EQ(rt.total_metrics().add_scion_sent.get(), 1u);
+}
+
+TEST_F(Rmi, ThirdPartyExportToTargetOwnerBecomesLocal) {
+  // a passes its b-reference TO b itself: b should get a local self-field.
+  const RefId another = rt.link(a, b);  // second ref a→b
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kStoreArgs, {ArgRef::held(another)});
+  rt.run_for(50'000);
+  const HeapObject* bo = rt.proc(1).heap().find(b.seq);
+  ASSERT_EQ(bo->local_fields.size(), 1u);
+  EXPECT_EQ(bo->local_fields[0], b.seq);
+  EXPECT_TRUE(bo->remote_fields.empty());
+  // No handshake was needed.
+  EXPECT_EQ(rt.total_metrics().add_scion_sent.get(), 0u);
+}
+
+TEST_F(Rmi, HandshakePinsStubAgainstLgc) {
+  const RefId a_to_c = rt.link(a, c);
+  // Block the link to C so the AddScion can't be delivered yet.
+  rt.network().set_link_blocked(0, 2, true);
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kStoreArgs, {ArgRef::held(a_to_c)});
+  // The mutator immediately drops its own reference to c.
+  rt.proc(0).remove_remote_ref(a.seq, a_to_c);
+  rt.proc(0).run_lgc();
+  // The stub must survive: it is pinned by the in-flight export.
+  EXPECT_TRUE(rt.proc(0).stubs().contains(a_to_c));
+
+  rt.network().set_link_blocked(0, 2, false);
+  rt.run_for(200'000);  // retries go through, handshake completes
+  EXPECT_EQ(rt.proc(0).pending_exports(), 0u);
+  rt.proc(0).run_lgc();
+  EXPECT_FALSE(rt.proc(0).stubs().contains(a_to_c));  // unpinned, unheld
+
+  // b's imported reference keeps c alive even though a dropped everything.
+  rt.run_for(100'000);
+  for (ProcessId pid = 0; pid < 3; ++pid) rt.proc(pid).run_lgc();
+  rt.run_for(100'000);
+  EXPECT_TRUE(rt.proc(2).heap().exists(c.seq));
+  const HeapObject* bo = rt.proc(1).heap().find(b.seq);
+  ASSERT_EQ(bo->remote_fields.size(), 1u);
+}
+
+TEST_F(Rmi, DropFieldsEffect) {
+  const ObjectSeq extra = rt.proc(1).create_object();
+  rt.proc(1).add_local_ref(b.seq, extra);
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kDropFields);
+  rt.run_for(50'000);
+  EXPECT_TRUE(rt.proc(1).heap().find(b.seq)->local_fields.empty());
+}
+
+TEST_F(Rmi, InvokeUnknownRefThrows) {
+  EXPECT_THROW(rt.proc(0).invoke(a.seq, make_ref_id(9, 9), InvokeEffect::kTouch),
+               std::invalid_argument);
+}
+
+TEST_F(Rmi, InvocationForCollectedScionDropped) {
+  // Forcefully delete the scion, then invoke: the receiver must drop it and
+  // never resurrect the object.
+  const_cast<ScionTable&>(rt.proc(1).scions()).erase(a_to_b);
+  rt.proc(0).invoke(a.seq, a_to_b, InvokeEffect::kTouch);
+  rt.run_for(50'000);
+  EXPECT_EQ(rt.total_metrics().invocations_dropped.get(), 1u);
+}
+
+TEST(RmiDgcOff, NoDgcBookkeeping) {
+  RuntimeConfig cfg = sim::manual_config(72);
+  cfg.proc.dgc_enabled = false;
+  cfg.proc.dcda_enabled = false;
+  Runtime rt(2, cfg);
+  const ObjectId a{0, rt.proc(0).create_object()};
+  const ObjectId b{1, rt.proc(1).create_object()};
+  rt.proc(0).add_root(a.seq);
+  rt.proc(1).add_root(b.seq);
+
+  const RefId ref = rt.link(a, b);
+  // No scion was created.
+  EXPECT_EQ(rt.proc(1).scions().size(), 0u);
+  // Invocations still work (the message carries the endpoint id).
+  rt.proc(0).invoke(a.seq, ref, InvokeEffect::kPinRoot);
+  rt.run_for(50'000);
+  EXPECT_TRUE(rt.proc(1).heap().is_root(b.seq));
+  // No counters maintained.
+  EXPECT_EQ(rt.proc(0).stubs().find(ref)->ic, 0u);
+  // LGC never emits NewSetStubs.
+  rt.proc(0).run_lgc();
+  rt.run_for(50'000);
+  EXPECT_EQ(rt.total_metrics().new_set_stubs_sent.get(), 0u);
+}
+
+}  // namespace
+}  // namespace adgc

@@ -1,0 +1,148 @@
+// Persistent snapshot store: round trips, retention, corruption handling,
+// atomic publish, and end-to-end recovery of a process's summarized view.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/snapshot/snapshot_store.h"
+
+namespace adgc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() {
+    dir_ = fs::temp_directory_path() /
+           ("adgc_store_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  ~StoreTest() override { fs::remove_all(dir_); }
+
+  static std::vector<std::byte> blob(std::initializer_list<int> vals) {
+    std::vector<std::byte> out;
+    for (int v : vals) out.push_back(static_cast<std::byte>(v));
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StoreTest, WriteReadRoundTrip) {
+  SnapshotStore store(dir_);
+  const auto payload = blob({1, 2, 3, 4, 5});
+  store.write(3, 7, payload);
+  const auto back = store.read_latest(3);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, 7u);
+  EXPECT_EQ(back->bytes, payload);
+}
+
+TEST_F(StoreTest, LatestVersionWins) {
+  SnapshotStore store(dir_, /*retain=*/5);
+  store.write(1, 1, blob({1}));
+  store.write(1, 3, blob({3}));
+  store.write(1, 2, blob({2}));
+  const auto back = store.read_latest(1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, 3u);
+}
+
+TEST_F(StoreTest, RetentionPrunesOldest) {
+  SnapshotStore store(dir_, /*retain=*/2);
+  for (std::uint64_t v = 1; v <= 5; ++v) store.write(0, v, blob({static_cast<int>(v)}));
+  const auto vs = store.versions(0);
+  EXPECT_EQ(vs, (std::vector<std::uint64_t>{4, 5}));
+}
+
+TEST_F(StoreTest, ProcessesAreIndependent) {
+  SnapshotStore store(dir_);
+  store.write(0, 1, blob({10}));
+  store.write(1, 9, blob({20}));
+  EXPECT_EQ(store.read_latest(0)->bytes, blob({10}));
+  EXPECT_EQ(store.read_latest(1)->bytes, blob({20}));
+  EXPECT_FALSE(store.read_latest(7).has_value());
+}
+
+TEST_F(StoreTest, CorruptLatestFallsBackToOlder) {
+  SnapshotStore store(dir_, 5);
+  store.write(2, 1, blob({1, 1}));
+  const fs::path newest = store.write(2, 2, blob({2, 2}));
+  // Flip a payload byte: checksum must fail, older version must be used.
+  {
+    std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('\xFF');
+  }
+  const auto back = store.read_latest(2);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, 1u);
+  EXPECT_GE(store.corrupt_skipped(), 1u);
+}
+
+TEST_F(StoreTest, TruncatedFileSkipped) {
+  SnapshotStore store(dir_, 5);
+  const fs::path p = store.write(4, 1, blob({1, 2, 3, 4, 5, 6, 7, 8}));
+  fs::resize_file(p, fs::file_size(p) - 4);
+  EXPECT_FALSE(store.read_latest(4).has_value());
+  EXPECT_GE(store.corrupt_skipped(), 1u);
+}
+
+TEST_F(StoreTest, EmptyPayloadOk) {
+  SnapshotStore store(dir_);
+  store.write(0, 1, {});
+  const auto back = store.read_latest(0);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->bytes.empty());
+}
+
+// ---- end-to-end: processes persist snapshots and recover their view ----
+
+TEST_F(StoreTest, ProcessPersistsAndRecovers) {
+  RuntimeConfig cfg = sim::manual_config(77);
+  cfg.proc.snapshot_dir = dir_.string();
+  Runtime rt(2, cfg);
+
+  const ObjectId a{0, rt.proc(0).create_object()};
+  const ObjectId b{1, rt.proc(1).create_object()};
+  rt.proc(0).add_root(a.seq);
+  const RefId ref = rt.link(a, b);
+  rt.proc(1).run_lgc();
+  rt.proc(1).take_snapshot();
+  ASSERT_NE(rt.proc(1).current_summary(), nullptr);
+
+  // A "restarted" runtime over the same store directory: before taking any
+  // snapshot of its own, P1 recovers its summarized view from disk.
+  Runtime rt2(2, cfg);
+  EXPECT_EQ(rt2.proc(1).current_summary(), nullptr);
+  ASSERT_TRUE(rt2.proc(1).recover_summary_from_store());
+  const auto snap = rt2.proc(1).current_summary();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_NE(snap->scion(ref), nullptr) << "recovered summary must contain the scion";
+}
+
+TEST_F(StoreTest, RecoveryWithoutStoreFails) {
+  Runtime rt(2, sim::manual_config(78));  // no snapshot_dir configured
+  EXPECT_FALSE(rt.proc(0).recover_summary_from_store());
+}
+
+TEST_F(StoreTest, PeriodicSnapshotsRespectRetention) {
+  RuntimeConfig cfg = sim::fast_config(79);
+  cfg.proc.snapshot_dir = dir_.string();
+  cfg.proc.snapshot_retain = 3;
+  Runtime rt(2, cfg);
+  rt.proc(0).create_object();
+  rt.run_for(300'000);  // many snapshot periods
+  SnapshotStore probe(dir_, 3);
+  const auto vs = probe.versions(0);
+  EXPECT_LE(vs.size(), 3u);
+  EXPECT_GE(vs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace adgc

@@ -1,0 +1,87 @@
+// Tests for the random-workload driver and its shadow oracle.
+#include <gtest/gtest.h>
+
+#include "src/sim/harness.h"
+#include "src/sim/workload.h"
+
+namespace adgc {
+namespace {
+
+using sim::RandomWorkload;
+using sim::ShadowGraph;
+using sim::WorkloadParams;
+
+TEST(ShadowGraph, LivenessFollowsRootsAndEdges) {
+  ShadowGraph g;
+  const ObjectId a{0, 1}, b{0, 2}, c{1, 1};
+  g.add_object(a);
+  g.add_object(b);
+  g.add_object(c);
+  g.add_root(a);
+  g.add_edge(a, b);
+  auto live = g.live();
+  EXPECT_TRUE(live.contains(a));
+  EXPECT_TRUE(live.contains(b));
+  EXPECT_FALSE(live.contains(c));
+
+  g.add_edge(b, c);
+  EXPECT_TRUE(g.live().contains(c));
+  g.remove_edge(b, c);
+  EXPECT_FALSE(g.live().contains(c));
+  g.remove_root(a);
+  EXPECT_TRUE(g.live().empty());
+}
+
+TEST(ShadowGraph, MultiEdgeSemantics) {
+  ShadowGraph g;
+  const ObjectId a{0, 1}, b{0, 2};
+  g.add_object(a);
+  g.add_object(b);
+  g.add_root(a);
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  g.remove_edge(a, b);  // one occurrence removed, edge remains
+  EXPECT_TRUE(g.live().contains(b));
+  g.remove_edge(a, b);
+  EXPECT_FALSE(g.live().contains(b));
+}
+
+TEST(ShadowGraph, CyclesStayLiveWhileRooted) {
+  ShadowGraph g;
+  const ObjectId a{0, 1}, b{1, 1};
+  g.add_object(a);
+  g.add_object(b);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_TRUE(g.live().empty());
+  g.add_root(a);
+  EXPECT_EQ(g.live().size(), 2u);
+}
+
+TEST(Workload, MirrorsRuntimeExactly) {
+  Runtime rt(3, sim::fast_config(91));
+  RandomWorkload w(rt, WorkloadParams{}, /*seed=*/91);
+  // Interleave mutation and protocol progress; the shadow-live set must
+  // always be a subset of the existing heap objects.
+  for (int round = 0; round < 40; ++round) {
+    w.steps(25);
+    rt.run_for(20'000);
+    const auto violation = w.find_safety_violation();
+    EXPECT_FALSE(violation.has_value())
+        << "live object " << to_string(*violation) << " was collected (round "
+        << round << ")";
+  }
+}
+
+TEST(Workload, ShadowCountsAreSane) {
+  Runtime rt(2, sim::fast_config(92));
+  WorkloadParams params;
+  params.initial_objects_per_proc = 4;
+  RandomWorkload w(rt, params, 92);
+  EXPECT_EQ(w.shadow().num_objects(), 8u);
+  w.steps(200);
+  EXPECT_GE(w.shadow().num_objects(), 8u);
+}
+
+}  // namespace
+}  // namespace adgc
