@@ -54,10 +54,14 @@ class ByteWriter {
   /// Length-prefixed blob (u32 length).
   void bytes(std::span<const std::byte> b);
 
-  /// Raw append, no length prefix.
+  /// Raw append, no length prefix. resize+memcpy rather than a ranged
+  /// insert: GCC 12 at -O3 flags the insert path with a spurious
+  /// -Wstringop-overflow, which would break -Werror builds.
   void raw(const void* data, std::size_t n) {
-    const auto* p = static_cast<const std::byte*>(data);
-    buf_.insert(buf_.end(), p, p + n);
+    if (n == 0) return;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, data, n);
   }
 
   std::size_t size() const { return buf_.size(); }

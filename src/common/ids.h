@@ -19,6 +19,12 @@ using ProcessId = std::uint32_t;
 /// Sentinel for "no process".
 inline constexpr ProcessId kNoProcess = ~ProcessId{0};
 
+/// Incarnation number of a process slot. Starts at 0 and is bumped by the
+/// runtime every time the process is restarted after a crash; messages and
+/// identifier spaces are stamped with it so state from a dead incarnation can
+/// never leak into the recovered one.
+using Incarnation = std::uint32_t;
+
 /// Per-process object sequence number. Never reused within a process.
 using ObjectSeq = std::uint64_t;
 
@@ -51,6 +57,15 @@ constexpr RefId make_ref_id(ProcessId creator, std::uint64_t counter) {
 /// Extracts the creating process from a RefId (diagnostics only).
 constexpr ProcessId ref_id_creator(RefId r) {
   return static_cast<ProcessId>(r >> 40);
+}
+
+/// Partitions the per-process id-counter space by incarnation so a restarted
+/// process never reuses a RefId or ObjectSeq minted by a dead incarnation.
+/// Also used to epoch-stamp NewSetStubs export sequences: a restarted
+/// holder's first message sorts above everything the lost incarnation sent,
+/// so receivers do not reject it as stale.
+constexpr std::uint64_t incarnation_epoch(Incarnation inc, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(inc) << 40) | (seq & ((std::uint64_t{1} << 40) - 1));
 }
 
 /// Identifies one cycle detection (one candidate probe). The initiator

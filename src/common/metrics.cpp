@@ -47,6 +47,7 @@ const std::vector<Field>& fields() {
       {"detections_dropped_dup", &Metrics::detections_dropped_dup},
       {"cdms_deduped", &Metrics::cdms_deduped},
       {"detections_timed_out", &Metrics::detections_timed_out},
+      {"detections_aborted_crash", &Metrics::detections_aborted_crash},
       {"cdms_sent", &Metrics::cdms_sent},
       {"cdms_received", &Metrics::cdms_received},
       {"cdm_bytes", &Metrics::cdm_bytes},
@@ -62,6 +63,11 @@ const std::vector<Field>& fields() {
       {"messages_lost", &Metrics::messages_lost},
       {"messages_duplicated", &Metrics::messages_duplicated},
       {"bytes_sent", &Metrics::bytes_sent},
+      {"process_crashes", &Metrics::process_crashes},
+      {"process_restarts", &Metrics::process_restarts},
+      {"restarts_recovered", &Metrics::restarts_recovered},
+      {"messages_dropped_crashed", &Metrics::messages_dropped_crashed},
+      {"messages_stale_incarnation", &Metrics::messages_stale_incarnation},
   };
   return kFields;
 }

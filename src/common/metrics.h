@@ -70,6 +70,7 @@ struct Metrics {
   Counter detections_dropped_dup;       // derivation added nothing
   Counter cdms_deduped;                 // identical CDM seen recently
   Counter detections_timed_out;
+  Counter detections_aborted_crash;     // in-flight when a peer crashed
   Counter cdms_sent;
   Counter cdms_received;
   Counter cdm_bytes;
@@ -91,6 +92,13 @@ struct Metrics {
   Counter messages_lost;
   Counter messages_duplicated;
   Counter bytes_sent;
+
+  // Crash/restart fault model.
+  Counter process_crashes;
+  Counter process_restarts;
+  Counter restarts_recovered;           // restart found a usable snapshot
+  Counter messages_dropped_crashed;     // destination was down
+  Counter messages_stale_incarnation;   // from/to a dead incarnation
 
   /// Adds every counter of `other` into this (aggregation across processes).
   void merge(const Metrics& other);

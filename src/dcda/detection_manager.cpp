@@ -21,6 +21,15 @@ void DetectionManager::end(DetectionId id) {
   records_.erase(it);
 }
 
+std::vector<DetectionManager::Record> DetectionManager::drain() {
+  std::vector<Record> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec);
+  records_.clear();
+  by_candidate_.clear();
+  return out;
+}
+
 std::vector<DetectionManager::Record> DetectionManager::expire(SimTime now) {
   std::vector<Record> out;
   for (auto it = records_.begin(); it != records_.end();) {

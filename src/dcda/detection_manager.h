@@ -41,6 +41,11 @@ class DetectionManager {
   /// Removes and returns every record whose deadline has passed.
   std::vector<Record> expire(SimTime now);
 
+  /// Removes and returns every in-flight record (peer crash: a CDM of any
+  /// detection may have touched the crashed process, so all are aborted —
+  /// mirroring the paper's IC-mismatch abort, safety over progress).
+  std::vector<Record> drain();
+
  private:
   ProcessId pid_;
   std::uint64_t next_seq_ = 1;

@@ -204,6 +204,14 @@ int Detector::expand(const CdmMsg& base, const ScionSummary& scion, const Algebr
   return sent;
 }
 
+void Detector::abort_for_crash(ProcessId crashed, SimTime /*now*/) {
+  for (const auto& rec : manager_.drain()) {
+    metrics_.detections_aborted_crash.add();
+    ADGC_DEBUG("P" << pid_ << " aborts " << to_string(rec.id) << " (P" << crashed
+                   << " crashed)");
+  }
+}
+
 void Detector::expire(SimTime now) {
   for (const auto& rec : manager_.expire(now)) {
     metrics_.detections_timed_out.add();

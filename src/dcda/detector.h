@@ -64,6 +64,13 @@ class Detector {
   /// Expires timed-out detections (message-loss tolerance).
   void expire(SimTime now);
 
+  /// A peer process crashed: aborts every in-flight detection this process
+  /// initiated. Any of them may have a CDM touching the crashed process, and
+  /// after its restart the restored tables no longer match the algebra those
+  /// CDMs carry — the same reasoning as the paper's IC-mismatch abort.
+  /// Surviving candidates are retried by the periodic detection scan.
+  void abort_for_crash(ProcessId crashed, SimTime now);
+
   /// Marks a detection finished at the initiator (cycle acted upon).
   void finish(DetectionId id) { manager_.end(id); }
 

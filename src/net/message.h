@@ -185,9 +185,20 @@ using MessagePayload =
                  GtPollMsg, GtStatusMsg, GtFinishMsg>;
 
 /// A message in flight.
+///
+/// Incarnation stamps implement the crash/restart fault model: `src_inc` is
+/// the sender's incarnation at send time, `dst_inc` the sender's view (from
+/// the runtime's membership table) of the destination's incarnation. The
+/// delivery path drops any envelope whose stamps no longer match the current
+/// incarnations — a message from a dead incarnation reflects state that was
+/// rolled back by the restart and must not be applied; one addressed to a
+/// dead incarnation may reference identifiers the restarted process never
+/// knew. Dropping is always safe: the protocols are message-loss tolerant.
 struct Envelope {
   ProcessId src = kNoProcess;
   ProcessId dst = kNoProcess;
+  Incarnation src_inc = 0;
+  Incarnation dst_inc = 0;
   std::vector<std::byte> bytes;  // encoded MessagePayload
 };
 

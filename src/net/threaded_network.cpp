@@ -8,9 +8,27 @@ ThreadedNetwork::ThreadedNetwork(std::size_t num_processes, NetworkConfig cfg,
                                  std::uint64_t seed, Metrics* metrics)
     : cfg_(cfg), metrics_(metrics), rng_(seed) {
   boxes_.reserve(num_processes);
+  peers_.reserve(num_processes);
   for (std::size_t i = 0; i < num_processes; ++i) {
     boxes_.push_back(std::make_unique<Box>());
+    peers_.push_back(std::make_unique<PeerState>());
   }
+}
+
+void ThreadedNetwork::set_down(ProcessId pid, bool down) {
+  peers_.at(pid)->down.store(down, std::memory_order_release);
+}
+
+bool ThreadedNetwork::is_down(ProcessId pid) const {
+  return peers_.at(pid)->down.load(std::memory_order_acquire);
+}
+
+Incarnation ThreadedNetwork::bump_incarnation(ProcessId pid) {
+  return peers_.at(pid)->inc.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+Incarnation ThreadedNetwork::incarnation(ProcessId pid) const {
+  return peers_.at(pid)->inc.load(std::memory_order_acquire);
 }
 
 void ThreadedNetwork::enqueue(ProcessId pid, WorkItem item) {
@@ -23,9 +41,15 @@ void ThreadedNetwork::enqueue(ProcessId pid, WorkItem item) {
 }
 
 void ThreadedNetwork::send(Envelope env) {
+  env.src_inc = incarnation(env.src);
+  env.dst_inc = incarnation(env.dst);
   if (metrics_) {
     metrics_->messages_sent.add();
     metrics_->bytes_sent.add(env.bytes.size());
+  }
+  if (is_down(env.dst)) {
+    if (metrics_) metrics_->messages_dropped_crashed.add();
+    return;
   }
   bool lost = false;
   bool dup = false;

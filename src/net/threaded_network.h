@@ -31,8 +31,18 @@ class ThreadedNetwork {
   ThreadedNetwork(std::size_t num_processes, NetworkConfig cfg, std::uint64_t seed,
                   Metrics* metrics);
 
-  /// Sends a message; may drop or duplicate per the config.
+  /// Sends a message; may drop or duplicate per the config. Stamps the
+  /// envelope with the sender's incarnation and the current view of the
+  /// destination's; drops it outright when the destination is down.
   void send(Envelope env);
+
+  // ---- membership (crash/restart fault model) ----
+  /// Marks a process down/up. While down, send() drops messages to it.
+  void set_down(ProcessId pid, bool down);
+  bool is_down(ProcessId pid) const;
+  /// Bumps the incarnation (restart); returns the new value.
+  Incarnation bump_incarnation(ProcessId pid);
+  Incarnation incarnation(ProcessId pid) const;
 
   /// Posts a closure to run on `pid`'s thread.
   void post(ProcessId pid, std::function<void()> fn);
@@ -53,6 +63,13 @@ class ThreadedNetwork {
     std::deque<WorkItem> q;
   };
 
+  /// Lock-free membership entry; read on every send, written only by the
+  /// runtime's crash/restart paths.
+  struct PeerState {
+    std::atomic<Incarnation> inc{0};
+    std::atomic<bool> down{false};
+  };
+
   void enqueue(ProcessId pid, WorkItem item);
 
   NetworkConfig cfg_;
@@ -60,6 +77,7 @@ class ThreadedNetwork {
   mutable std::mutex rng_mu_;
   Rng rng_;
   std::vector<std::unique_ptr<Box>> boxes_;
+  std::vector<std::unique_ptr<PeerState>> peers_;
   std::atomic<bool> shutdown_{false};
 };
 

@@ -14,6 +14,17 @@ ObjectSeq Heap::allocate(std::size_t payload_bytes) {
   return seq;
 }
 
+void Heap::adopt(HeapObject obj) {
+  if (obj.seq == kNoObject) throw std::invalid_argument("adopt: object without seq");
+  if (obj.seq >= next_seq_) next_seq_ = obj.seq + 1;
+  const ObjectSeq seq = obj.seq;
+  objects_.insert_or_assign(seq, std::move(obj));
+}
+
+void Heap::set_next_seq_floor(ObjectSeq floor) {
+  if (floor > next_seq_) next_seq_ = floor;
+}
+
 HeapObject* Heap::find(ObjectSeq seq) {
   auto it = objects_.find(seq);
   return it == objects_.end() ? nullptr : &it->second;

@@ -41,6 +41,17 @@ class Heap {
   /// responsible for stub holder bookkeeping.
   void remove(ObjectSeq seq) { objects_.erase(seq); }
 
+  /// Reinstates an object under its original sequence number (snapshot
+  /// recovery after a restart). Advances the allocator past it so sequence
+  /// numbers are never reused within the process.
+  void adopt(HeapObject obj);
+
+  /// Raises the next allocation sequence to at least `floor`. Restarted
+  /// processes call this with an incarnation-partitioned floor so objects
+  /// allocated by the lost incarnation can never share a sequence number
+  /// with new ones.
+  void set_next_seq_floor(ObjectSeq floor);
+
   // --- roots ---
   void add_root(ObjectSeq seq) { roots_.insert(seq); }
   void remove_root(ObjectSeq seq) { roots_.erase(seq); }

@@ -11,8 +11,16 @@
 
 namespace adgc {
 
-Process::Process(ProcessId pid, const ProcessConfig& cfg, Env& env)
-    : pid_(pid), cfg_(cfg), env_(env) {
+Process::Process(ProcessId pid, const ProcessConfig& cfg, Env& env, Incarnation incarnation)
+    : pid_(pid), cfg_(cfg), env_(env), incarnation_(incarnation) {
+  if (incarnation_ > 0) {
+    // Partition the identifier spaces by incarnation: the RefId counter field
+    // is 40 bits wide (see make_ref_id), so the incarnation takes its top 8
+    // bits; ObjectSeq is a full 64-bit space. Identifiers minted by a dead
+    // incarnation can then never collide with the recovered one's.
+    next_ref_counter_ = (std::uint64_t{incarnation_} << 32) + 1;
+    heap_.set_next_seq_floor((std::uint64_t{incarnation_} << 40) + 1);
+  }
   serializer_ = std::make_unique<BinarySerializer>();
   switch (cfg_.summarizer) {
     case ProcessConfig::SummarizerKind::kScc:
@@ -485,7 +493,11 @@ void Process::run_lgc() {
   metrics().stubs_deleted.add(res.stubs_deleted);
   if (!cfg_.dgc_enabled) return;
   for (ProcessId dst : contacts_) {
-    NewSetStubsMsg msg = build_new_set_stubs(stubs_, dst, ++nss_seq_[dst]);
+    // The export sequence is epoch-stamped with the incarnation so the first
+    // message after a restart (local counter back at 1) still sorts above
+    // everything the lost incarnation sent.
+    NewSetStubsMsg msg =
+        build_new_set_stubs(stubs_, dst, incarnation_epoch(incarnation_, ++nss_seq_[dst]));
     metrics().new_set_stubs_sent.add();
     send(dst, msg);
   }
@@ -527,6 +539,41 @@ bool Process::recover_summary_from_store() {
   detector_->set_snapshot(summary_);
   ADGC_INFO("P" << pid_ << " recovered snapshot v" << stored->version << " from disk");
   return true;
+}
+
+bool Process::recover_from_store() {
+  if (!store_) return false;
+  const auto stored = store_->read_latest(pid_);
+  if (!stored) return false;
+  SnapshotData snap;
+  try {
+    snap = serializer_->deserialize(stored->bytes);
+  } catch (const DecodeError& e) {
+    ADGC_ERROR("P" << pid_ << " stored snapshot undecodable: " << e.what());
+    return false;
+  }
+  restore_snapshot(snap, heap_, stubs_, scions_, env_.now());
+  // Rebuild the NewSetStubs contact set from the restored stub table; owners
+  // of references we no longer hold will expire the orphan scions themselves.
+  for (const auto& [ref, stub] : stubs_) {
+    (void)ref;
+    contacts_.insert(stub.target.owner);
+  }
+  // The restored live state IS the state this snapshot describes, so handing
+  // its summary to the detector keeps in-flight detections consistent.
+  SummarizedGraph sum = summarizer_->summarize(snap);
+  sum.version = stored->version;
+  snapshot_version_ = std::max(snapshot_version_, stored->version);
+  summary_ = std::make_shared<const SummarizedGraph>(std::move(sum));
+  detector_->set_snapshot(summary_);
+  ADGC_INFO("P" << pid_ << " (inc " << incarnation_ << ") recovered heap="
+                << heap_.size() << " stubs=" << stubs_.size() << " scions="
+                << scions_.size() << " from snapshot v" << stored->version);
+  return true;
+}
+
+void Process::on_peer_crashed(ProcessId crashed) {
+  if (cfg_.dcda_enabled) detector_->abort_for_crash(crashed, env_.now());
 }
 
 void Process::run_dcda_scan() {

@@ -58,13 +58,17 @@ struct ArgRef {
 
 class Process {
  public:
-  Process(ProcessId pid, const ProcessConfig& cfg, Env& env);
+  /// `incarnation` is 0 for the first start; restarts construct a fresh
+  /// Process with the next incarnation, which partitions the RefId/ObjectSeq
+  /// counter spaces so identifiers of the lost incarnation are never reused.
+  Process(ProcessId pid, const ProcessConfig& cfg, Env& env, Incarnation incarnation = 0);
   ~Process();
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
 
   ProcessId id() const { return pid_; }
+  Incarnation incarnation() const { return incarnation_; }
   const ProcessConfig& config() const { return cfg_; }
   Metrics& metrics() { return env_.metrics(); }
 
@@ -112,6 +116,19 @@ class Process {
   /// usable is on disk. Safe: a stale summary only delays detection (the
   /// IC rules reject anything the mutator has touched since).
   bool recover_summary_from_store();
+
+  /// Full crash recovery: reloads heap, roots, stub and scion tables AND the
+  /// detector's summary from the last persisted snapshot. Must be called on a
+  /// freshly constructed Process (restart path) before start(). Returns false
+  /// (leaving the process empty — a cold start) when nothing usable is on
+  /// disk. The restored state is exactly the state the persisted snapshot
+  /// describes, so in-flight CDMs derived from it stay consistent.
+  bool recover_from_store();
+
+  /// Membership notification: `crashed` went down. Aborts every in-flight
+  /// detection this process initiated (its CDMs may have touched the crashed
+  /// process); the periodic scan restarts surviving candidates later.
+  void on_peer_crashed(ProcessId crashed);
 
   /// Starts a baseline back-tracing detection on a scion (bench/tests).
   void start_backtrace(RefId candidate);
@@ -190,6 +207,7 @@ class Process {
   ProcessId pid_;
   ProcessConfig cfg_;
   Env& env_;
+  Incarnation incarnation_ = 0;
 
   Heap heap_;
   StubTable stubs_;

@@ -1,5 +1,6 @@
 #include "src/rt/runtime.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace adgc {
@@ -14,12 +15,14 @@ class Runtime::SimEnv final : public Env {
     Envelope env;
     env.src = pid_;
     env.dst = dst;
+    env.src_inc = rt_.incarnations_[pid_];
+    env.dst_inc = rt_.incarnations_[dst];
     env.bytes = encode_message(msg);
     rt_.network_->send(rt_.now_, std::move(env));
   }
 
   void schedule(SimTime delay, std::function<void()> fn) override {
-    rt_.push_at(rt_.now_ + delay, TimerEvent{pid_, std::move(fn)});
+    rt_.push_at(rt_.now_ + delay, TimerEvent{pid_, rt_.incarnations_[pid_], std::move(fn)});
   }
 
   Rng& rng() override { return rng_; }
@@ -40,6 +43,7 @@ Runtime::Runtime(std::size_t num_processes, RuntimeConfig cfg)
       &net_metrics_);
   envs_.reserve(num_processes);
   procs_.reserve(num_processes);
+  incarnations_.assign(num_processes, 0);
   for (std::size_t i = 0; i < num_processes; ++i) {
     envs_.push_back(std::make_unique<SimEnv>(*this, static_cast<ProcessId>(i),
                                              rng_.next_u64()));
@@ -47,6 +51,27 @@ Runtime::Runtime(std::size_t num_processes, RuntimeConfig cfg)
                                                *envs_.back()));
   }
   for (auto& p : procs_) p->start();
+}
+
+void Runtime::crash(ProcessId pid) {
+  if (!alive(pid)) throw std::logic_error("crash: process already down");
+  procs_.at(pid).reset();  // volatile state gone; timers/messages die on the checks
+  envs_.at(pid)->metrics().process_crashes.add();
+  for (auto& p : procs_) {
+    if (p) p->on_peer_crashed(pid);
+  }
+}
+
+bool Runtime::restart(ProcessId pid) {
+  if (alive(pid)) throw std::logic_error("restart: process is alive");
+  ++incarnations_.at(pid);
+  procs_.at(pid) = std::make_unique<Process>(pid, cfg_.proc, *envs_.at(pid),
+                                             incarnations_.at(pid));
+  const bool recovered = procs_.at(pid)->recover_from_store();
+  envs_.at(pid)->metrics().process_restarts.add();
+  if (recovered) envs_.at(pid)->metrics().restarts_recovered.add();
+  procs_.at(pid)->start();
+  return recovered;
 }
 
 Runtime::~Runtime() = default;
@@ -58,10 +83,26 @@ void Runtime::push_at(SimTime when, std::variant<Envelope, TimerEvent> what) {
 void Runtime::execute(Event&& ev) {
   now_ = ev.when;
   if (auto* env = std::get_if<Envelope>(&ev.what)) {
+    if (!alive(env->dst)) {
+      net_metrics_.messages_dropped_crashed.add();
+      return;
+    }
+    // Incarnation check: a message from a dead incarnation reflects state the
+    // restart rolled back; one addressed to a dead incarnation may name
+    // identifiers the restarted process never knew. Drop both kinds.
+    if (env->src_inc != incarnations_[env->src] ||
+        env->dst_inc != incarnations_[env->dst]) {
+      net_metrics_.messages_stale_incarnation.add();
+      return;
+    }
     net_metrics_.messages_delivered.add();
     procs_.at(env->dst)->deliver(*env);
   } else {
-    std::get<TimerEvent>(ev.what).fn();
+    TimerEvent& timer = std::get<TimerEvent>(ev.what);
+    // Skip timers armed by a crashed or replaced incarnation: their closures
+    // capture the destroyed Process instance.
+    if (!alive(timer.owner) || timer.inc != incarnations_[timer.owner]) return;
+    timer.fn();
   }
 }
 

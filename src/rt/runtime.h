@@ -36,6 +36,20 @@ class Runtime {
 
   SimTime now() const { return now_; }
 
+  // ---- crash/restart fault injection ----
+  /// Kills the process: its state is lost, queued timers and in-flight
+  /// messages to/from it are discarded at execution time, and every other
+  /// live process gets an on_peer_crashed notification (aborting in-flight
+  /// detections that may have touched it).
+  void crash(ProcessId pid);
+  /// Brings a crashed process back under the next incarnation. It recovers
+  /// heap + DGC tables + detector summary from the persistent snapshot store
+  /// (config `snapshot_dir`); with no usable snapshot it cold-starts empty.
+  /// Returns true if a snapshot was recovered.
+  bool restart(ProcessId pid);
+  bool alive(ProcessId pid) const { return procs_.at(pid) != nullptr; }
+  Incarnation incarnation(ProcessId pid) const { return incarnations_.at(pid); }
+
   /// Executes every event scheduled in the next `duration` microseconds.
   void run_for(SimTime duration);
   void run_until(SimTime deadline);
@@ -64,6 +78,10 @@ class Runtime {
  private:
   struct TimerEvent {
     ProcessId owner;
+    /// Incarnation of the owner when the timer was armed; `fn` captures that
+    /// Process instance, so the timer is skipped if the owner has since
+    /// crashed or been replaced by a newer incarnation.
+    Incarnation inc;
     std::function<void()> fn;
   };
   struct Event {
@@ -91,7 +109,8 @@ class Runtime {
   Metrics net_metrics_;
   std::unique_ptr<SimNetwork> network_;
   std::vector<std::unique_ptr<SimEnv>> envs_;
-  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<std::unique_ptr<Process>> procs_;  // null slot = crashed
+  std::vector<Incarnation> incarnations_;
 };
 
 }  // namespace adgc

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <future>
 #include <queue>
+#include <stdexcept>
 
 namespace adgc {
 
@@ -38,6 +39,10 @@ class ThreadedRuntime::ThreadEnv final : public Env {
 
   Rng& rng() override { return rng_; }
   Metrics& metrics() override { return metrics_; }
+
+  /// Drops every pending timer (crash path; their closures capture the dying
+  /// Process). Must run on the owning worker thread, like all timer access.
+  void clear_timers() { timers_ = {}; }
 
   /// Fires every due timer; returns microseconds until the next one (or a
   /// default poll interval when none are queued).
@@ -96,14 +101,25 @@ ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
 
 void ThreadedRuntime::worker(ProcessId pid) {
   ThreadEnv& env = *envs_.at(pid);
-  Process& proc = *procs_.at(pid);
   while (!stopped_.load(std::memory_order_acquire)) {
     const SimTime wait = std::min<SimTime>(env.pump_timers(), 10'000);
     auto item = network_->poll(pid, wait);
     if (!item) continue;
     if (auto* envl = std::get_if<Envelope>(&*item)) {
+      // procs_[pid] is written only from this thread (the posted crash /
+      // restart closures), so the re-resolve each item is race-free.
+      Process* proc = procs_.at(pid).get();
+      if (!proc) {
+        env.metrics().messages_dropped_crashed.add();
+        continue;
+      }
+      if (envl->src_inc != network_->incarnation(envl->src) ||
+          envl->dst_inc != network_->incarnation(pid)) {
+        env.metrics().messages_stale_incarnation.add();
+        continue;
+      }
       env.metrics().messages_delivered.add();
-      proc.deliver(*envl);
+      proc->deliver(*envl);
     } else {
       std::get<std::function<void()>>(*item)();
     }
@@ -111,18 +127,64 @@ void ThreadedRuntime::worker(ProcessId pid) {
 }
 
 void ThreadedRuntime::post(ProcessId pid, std::function<void(Process&)> fn) {
-  Process* proc = procs_.at(pid).get();
-  network_->post(pid, [proc, fn = std::move(fn)] { fn(*proc); });
+  // Resolve the Process at execution time, on the worker thread: the pointer
+  // captured at post time could dangle across a crash/restart.
+  network_->post(pid, [this, pid, fn = std::move(fn)] {
+    if (Process* proc = procs_.at(pid).get()) fn(*proc);
+  });
 }
 
 void ThreadedRuntime::post_sync(ProcessId pid, std::function<void(Process&)> fn) {
   std::promise<void> done;
   auto fut = done.get_future();
-  post(pid, [&](Process& p) {
-    fn(p);
+  network_->post(pid, [this, pid, &fn, &done] {
+    if (Process* proc = procs_.at(pid).get()) fn(*proc);
     done.set_value();
   });
   fut.wait();
+}
+
+void ThreadedRuntime::crash(ProcessId pid) {
+  network_->set_down(pid, true);  // stop deliveries right away
+  std::promise<void> done;
+  auto fut = done.get_future();
+  network_->post(pid, [this, pid, &done] {
+    envs_.at(pid)->clear_timers();  // closures capture the dying Process
+    procs_.at(pid).reset();
+    envs_.at(pid)->metrics().process_crashes.add();
+    done.set_value();
+  });
+  fut.wait();
+  for (ProcessId p = 0; p < static_cast<ProcessId>(size()); ++p) {
+    if (p == pid) continue;
+    post(p, [pid](Process& proc) { proc.on_peer_crashed(pid); });
+  }
+}
+
+bool ThreadedRuntime::restart(ProcessId pid) {
+  if (alive(pid)) throw std::logic_error("restart: process is alive");
+  // Bump first so concurrent senders either stamp the old incarnation (their
+  // message is dropped by the stale check) or the new one; then reopen the
+  // network and construct the process on its own thread.
+  const Incarnation inc = network_->bump_incarnation(pid);
+  std::promise<bool> done;
+  auto fut = done.get_future();
+  network_->post(pid, [this, pid, inc, &done] {
+    procs_.at(pid) = std::make_unique<Process>(pid, cfg_.proc, *envs_.at(pid), inc);
+    const bool recovered = procs_.at(pid)->recover_from_store();
+    envs_.at(pid)->metrics().process_restarts.add();
+    if (recovered) envs_.at(pid)->metrics().restarts_recovered.add();
+    procs_.at(pid)->start();
+    done.set_value(recovered);
+  });
+  network_->set_down(pid, false);
+  return fut.get();
+}
+
+bool ThreadedRuntime::alive(ProcessId pid) const { return !network_->is_down(pid); }
+
+Incarnation ThreadedRuntime::incarnation(ProcessId pid) const {
+  return network_->incarnation(pid);
 }
 
 void ThreadedRuntime::shutdown() {

@@ -32,10 +32,25 @@ class ThreadedRuntime {
 
   std::size_t size() const { return procs_.size(); }
 
-  /// Runs `fn(process)` on the process's own thread, asynchronously.
+  /// Runs `fn(process)` on the process's own thread, asynchronously. Skipped
+  /// silently if the process is crashed when the closure comes up.
   void post(ProcessId pid, std::function<void(Process&)> fn);
-  /// Same, but blocks the caller until the closure has run.
+  /// Same, but blocks the caller until the closure has run (or been skipped
+  /// because the process is down).
   void post_sync(ProcessId pid, std::function<void(Process&)> fn);
+
+  // ---- crash/restart fault injection ----
+  /// Kills the process: volatile state and pending timers are discarded on
+  /// its own thread; the network stops delivering to it; peers get
+  /// on_peer_crashed. Blocks until the state is actually gone. Must be
+  /// called from outside the worker threads (e.g. the test driver).
+  void crash(ProcessId pid);
+  /// Restarts a crashed process under the next incarnation, recovering from
+  /// the persistent snapshot store. Blocks until the process is running.
+  /// Returns true if a snapshot was recovered.
+  bool restart(ProcessId pid);
+  bool alive(ProcessId pid) const;
+  Incarnation incarnation(ProcessId pid) const;
 
   /// Stops all worker threads (idempotent). After shutdown the processes
   /// can be inspected directly from the caller's thread.

@@ -1,0 +1,94 @@
+#include "src/sim/crash_sweep.h"
+
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "src/sim/harness.h"
+#include "src/sim/scenarios.h"
+
+namespace adgc::sim {
+
+namespace {
+
+std::filesystem::path sweep_dir(const CrashSweepParams& p) {
+  if (!p.snapshot_dir.empty()) return p.snapshot_dir;
+  std::ostringstream name;
+  name << "adgc_crash_sweep_" << p.seed;
+  return std::filesystem::temp_directory_path() / name.str();
+}
+
+}  // namespace
+
+CrashSweepResult run_crash_sweep(const CrashSweepParams& p) {
+  const std::filesystem::path dir = sweep_dir(p);
+  std::filesystem::remove_all(dir);  // stale state from an aborted run
+
+  RuntimeConfig cfg = fast_config(p.seed);
+  cfg.proc.snapshot_dir = dir.string();
+
+  CrashSweepResult res;
+  {
+    Runtime rt(4, cfg);
+    const Fig3 fig = build_fig3(rt);
+
+    // Live sentinel ring: rooted L_p holds a remote reference to the
+    // unrooted N_{p+1}, whose survival therefore rests entirely on the
+    // cross-process stub/scion pair — the state crashes try hardest to lose.
+    std::vector<ObjectId> L, N;
+    for (ProcessId pid = 0; pid < 4; ++pid) {
+      L.push_back(ObjectId{pid, rt.proc(pid).create_object()});
+      N.push_back(ObjectId{pid, rt.proc(pid).create_object()});
+      rt.proc(pid).add_root(L.back().seq);
+    }
+    for (ProcessId pid = 0; pid < 4; ++pid) {
+      rt.link(L[pid], N[(pid + 1) % 4]);
+    }
+
+    // Warm up with the structure intact so every process has it durably
+    // snapshotted, then make the Fig. 3 structure garbage.
+    rt.run_for(p.warmup_us);
+    rt.proc(0).remove_root(fig.A.seq);
+
+    // Crash and restart each process once, mid-run: half a phase in, the
+    // detectors are busy probing the now-garbage cycle.
+    for (ProcessId victim = 0; victim < 4; ++victim) {
+      rt.run_for(p.phase_us / 2);
+      rt.crash(victim);
+      ++res.crashes;
+      rt.run_for(p.down_us);
+      if (rt.restart(victim)) ++res.recovered;
+      rt.run_for(p.phase_us / 2);
+    }
+
+    rt.run_for(p.settle_us);
+
+    // Verdicts. The whole Fig. 3 structure (cycle + its local attachments +
+    // the dropped root path) must be gone; every sentinel must survive.
+    const std::vector<ObjectId> cycle = {fig.A, fig.B, fig.C, fig.D, fig.F,
+                                         fig.G, fig.H, fig.J, fig.O, fig.M,
+                                         fig.K, fig.Q, fig.R, fig.S};
+    res.cycle_collected = true;
+    std::ostringstream detail;
+    for (ObjectId id : cycle) {
+      if (rt.proc(id.owner).heap().exists(id.seq)) {
+        res.cycle_collected = false;
+        detail << "uncollected garbage " << to_string(id) << "; ";
+      }
+    }
+    for (ProcessId pid = 0; pid < 4; ++pid) {
+      if (!rt.proc(pid).heap().exists(L[pid].seq) ||
+          !rt.proc(pid).heap().exists(N[pid].seq)) {
+        res.live_lost = true;
+        detail << "sentinel lost on P" << pid << "; ";
+      }
+    }
+    res.stale_dropped = rt.net_metrics().messages_stale_incarnation.get();
+    res.detail = detail.str();
+  }
+
+  std::filesystem::remove_all(dir);
+  return res;
+}
+
+}  // namespace adgc::sim

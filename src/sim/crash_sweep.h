@@ -1,0 +1,50 @@
+// Scripted crash/restart sweep — the fault-tolerance acceptance harness.
+//
+// Four processes carry the paper's Fig. 3 distributed garbage cycle plus a
+// ring of live sentinels (a rooted object per process holding a remote
+// reference to an unrooted object on the next process, so every sentinel's
+// survival depends on cross-process DGC state). After the cycle is made
+// garbage, every process is crashed and restarted once, mid-detection; the
+// system must still collect the whole cycle and must never collect a
+// sentinel. Swept over seeds by tests and the adgc_sim tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/config.h"
+
+namespace adgc::sim {
+
+struct CrashSweepParams {
+  std::uint64_t seed = 1;
+  /// Directory for the persistent snapshot stores (one subtree per run;
+  /// removed afterwards). Empty = a unique directory under the system temp.
+  std::string snapshot_dir;
+  /// Mutation-free run before the root drop: enough snapshot periods that
+  /// every process has the full structure durably on disk.
+  SimTime warmup_us = 400'000;
+  /// Run time on each side of a crash (≫ snapshot period, so the root drop
+  /// and subsequent DGC progress are persisted before the next crash).
+  SimTime phase_us = 800'000;
+  /// How long a crashed process stays down before restarting.
+  SimTime down_us = 50'000;
+  /// Final settle time after the last restart.
+  SimTime settle_us = 10'000'000;
+};
+
+struct CrashSweepResult {
+  bool cycle_collected = false;  // every Fig. 3 object reclaimed
+  bool live_lost = false;        // some sentinel object was collected
+  std::size_t crashes = 0;
+  std::size_t recovered = 0;     // restarts that found a usable snapshot
+  std::uint64_t stale_dropped = 0;  // messages dropped by incarnation checks
+  std::string detail;            // human-readable diagnosis on failure
+
+  bool ok() const { return cycle_collected && !live_lost; }
+};
+
+/// Runs one sweep; deterministic in `params.seed`.
+CrashSweepResult run_crash_sweep(const CrashSweepParams& params);
+
+}  // namespace adgc::sim

@@ -8,7 +8,9 @@ std::unordered_set<ObjectId> global_live_set(const Runtime& rt) {
   std::unordered_set<ObjectId> live;
   std::deque<ObjectId> frontier;
 
+  // Crashed processes contribute nothing: their roots and heaps are gone.
   for (ProcessId pid = 0; pid < rt.size(); ++pid) {
+    if (!rt.alive(pid)) continue;
     for (ObjectSeq seq : rt.proc(pid).heap().roots()) {
       ObjectId id{pid, seq};
       if (rt.proc(pid).heap().exists(seq) && live.insert(id).second) {
@@ -31,8 +33,8 @@ std::unordered_set<ObjectId> global_live_set(const Runtime& rt) {
       const StubEntry* stub = proc.stubs().find(ref);
       if (!stub) continue;
       const ObjectId id = stub->target;
-      if (id.owner < rt.size() && rt.proc(id.owner).heap().exists(id.seq) &&
-          live.insert(id).second) {
+      if (id.owner < rt.size() && rt.alive(id.owner) &&
+          rt.proc(id.owner).heap().exists(id.seq) && live.insert(id).second) {
         frontier.push_back(id);
       }
     }
@@ -45,6 +47,7 @@ GlobalStats global_stats(const Runtime& rt) {
   const auto live = global_live_set(rt);
   st.live_objects = live.size();
   for (ProcessId pid = 0; pid < rt.size(); ++pid) {
+    if (!rt.alive(pid)) continue;
     st.total_objects += rt.proc(pid).heap().size();
     st.stubs += rt.proc(pid).stubs().size();
     st.scions += rt.proc(pid).scions().size();
@@ -91,10 +94,16 @@ RuntimeConfig fast_config(std::uint64_t seed) {
 
 void settle_manual(Runtime& rt, int rounds, SimTime flush_us) {
   for (int r = 0; r < rounds; ++r) {
-    for (ProcessId pid = 0; pid < rt.size(); ++pid) rt.proc(pid).run_lgc();
+    for (ProcessId pid = 0; pid < rt.size(); ++pid) {
+      if (rt.alive(pid)) rt.proc(pid).run_lgc();
+    }
     rt.run_for(flush_us);
-    for (ProcessId pid = 0; pid < rt.size(); ++pid) rt.proc(pid).take_snapshot();
-    for (ProcessId pid = 0; pid < rt.size(); ++pid) rt.proc(pid).run_dcda_scan();
+    for (ProcessId pid = 0; pid < rt.size(); ++pid) {
+      if (rt.alive(pid)) rt.proc(pid).take_snapshot();
+    }
+    for (ProcessId pid = 0; pid < rt.size(); ++pid) {
+      if (rt.alive(pid)) rt.proc(pid).run_dcda_scan();
+    }
     rt.run_for(flush_us);
   }
 }

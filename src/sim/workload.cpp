@@ -9,6 +9,15 @@ namespace adgc::sim {
 
 void ShadowGraph::add_object(ObjectId id) { out_.try_emplace(id); }
 
+void ShadowGraph::remove_object(ObjectId id) {
+  out_.erase(id);
+  roots_.erase(id);
+}
+
+void ShadowGraph::set_edges(ObjectId id, std::vector<ObjectId> outs) {
+  out_[id] = std::move(outs);
+}
+
 void ShadowGraph::add_root(ObjectId id) { roots_.insert(id); }
 void ShadowGraph::remove_root(ObjectId id) { roots_.erase(id); }
 
@@ -238,6 +247,70 @@ void RandomWorkload::op_rmi_store_edge() {
     shadow_.add_edge(e.to, arg);
     edges_.push_back({e.to, arg, installed});
     return;
+  }
+}
+
+void RandomWorkload::sync_after_restart(ProcessId pid) {
+  const Process& proc = rt_.proc(pid);
+  const Heap& heap = proc.heap();
+
+  // Objects the rollback lost vanish from the shadow; dangling shadow edges
+  // toward them are ignored by ShadowGraph::live().
+  for (ObjectSeq seq : objects_[pid]) {
+    const ObjectId id{pid, seq};
+    if (!heap.exists(seq)) {
+      shadow_.remove_object(id);
+      rooted_.erase(id);
+    }
+  }
+
+  // Incoming references whose scion the rollback lost are broken: drop the
+  // holder-side field too (the application discards a dead reference).
+  std::erase_if(edges_, [&](const Edge& e) {
+    if (e.from.owner == pid) return true;  // re-derived from the heap below
+    if (e.to.owner != pid || e.ref == kNoRef) return false;
+    if (proc.scions().contains(e.ref) && heap.exists(e.to.seq)) return false;
+    if (rt_.alive(e.from.owner)) {
+      rt_.proc(e.from.owner).remove_remote_ref(e.from.seq, e.ref);
+    }
+    shadow_.remove_edge(e.from, e.to);
+    return true;
+  });
+
+  // Re-derive the restored objects' edges and root status from the heap.
+  for (ObjectSeq seq : objects_[pid]) {
+    if (!heap.exists(seq)) continue;
+    const ObjectId id{pid, seq};
+    const HeapObject* obj = heap.find(seq);
+    std::vector<ObjectId> outs;
+    for (ObjectSeq t : obj->local_fields) {
+      outs.push_back(ObjectId{pid, t});
+      edges_.push_back({id, ObjectId{pid, t}, kNoRef});
+    }
+    // Outgoing remote references: a restored stub whose scion the owner has
+    // meanwhile deleted (it acted on this process's pre-crash messages) is
+    // broken — drop it instead of resurrecting it.
+    std::vector<RefId> broken;
+    for (RefId ref : obj->remote_fields) {
+      const StubEntry* stub = proc.stubs().find(ref);
+      if (!stub) continue;
+      const ProcessId owner = stub->target.owner;
+      if (!rt_.alive(owner) || !rt_.proc(owner).scions().contains(ref)) {
+        broken.push_back(ref);
+        continue;
+      }
+      outs.push_back(stub->target);
+      edges_.push_back({id, stub->target, ref});
+    }
+    for (RefId ref : broken) rt_.proc(pid).remove_remote_ref(seq, ref);
+    shadow_.set_edges(id, std::move(outs));
+    if (heap.is_root(seq)) {
+      shadow_.add_root(id);
+      rooted_.insert(id);
+    } else {
+      shadow_.remove_root(id);
+      rooted_.erase(id);
+    }
   }
 }
 

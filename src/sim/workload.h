@@ -24,10 +24,14 @@ namespace adgc::sim {
 class ShadowGraph {
  public:
   void add_object(ObjectId id);
+  /// Forgets an object entirely (crash rollback lost it).
+  void remove_object(ObjectId id);
   void add_root(ObjectId id);
   void remove_root(ObjectId id);
   void add_edge(ObjectId from, ObjectId to);
   void remove_edge(ObjectId from, ObjectId to);  // one occurrence
+  /// Replaces the object's out-edges wholesale (crash-recovery resync).
+  void set_edges(ObjectId id, std::vector<ObjectId> outs);
 
   std::unordered_set<ObjectId> live() const;
   std::size_t num_objects() const { return out_.size(); }
@@ -76,6 +80,15 @@ class RandomWorkload {
   /// After the collectors settled: true iff the runtime holds exactly the
   /// shadow-live objects (no garbage left, nothing live lost).
   bool converged() const;
+
+  /// Reconciles the shadow with `pid`'s state right after a crash/restart:
+  /// the restart rolled the process back to its last persisted snapshot, so
+  /// objects, edges and roots it owned are re-read from the restored heap,
+  /// and references broken by the rollback (stub without a scion, or scion
+  /// whose holder-side state was lost) are dropped on both sides — modeling
+  /// an application that discards references it learns are dead. Call once
+  /// per restart, before the next step().
+  void sync_after_restart(ProcessId pid);
 
  private:
   struct Edge {

@@ -55,6 +55,15 @@ struct SnapshotData {
 SnapshotData capture_snapshot(ProcessId pid, SimTime now, const Heap& heap,
                               const StubTable& stubs, const ScionTable& scions);
 
+/// Rebuilds heap + DGC tables from a snapshot (crash recovery). The caller
+/// provides empty tables. Restored scions come back unconfirmed with a fresh
+/// grace window and `target_root_reachable = true`, and stub holder counts
+/// are recomputed from the restored heap — conservative defaults that can
+/// delay collection but never delete a live reference. The acyclic protocol
+/// (NewSetStubs / AddScion retry) and the next LGC re-derive the exact state.
+void restore_snapshot(const SnapshotData& snap, Heap& heap, StubTable& stubs,
+                      ScionTable& scions, SimTime now);
+
 /// Summarized form consumed by the DCDA.
 struct ScionSummary {
   RefId ref = kNoRef;

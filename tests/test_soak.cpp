@@ -4,11 +4,22 @@
 // continuously, completeness after settling).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/sim/harness.h"
 #include "src/sim/workload.h"
 
 namespace adgc {
 namespace {
+
+/// Nightly CI scales the soak up without a rebuild: ADGC_SOAK_MULTIPLIER=N
+/// multiplies every run's mutation rounds.
+int soak_multiplier() {
+  const char* env = std::getenv("ADGC_SOAK_MULTIPLIER");
+  if (!env) return 1;
+  const int m = std::atoi(env);
+  return m > 0 ? m : 1;
+}
 
 struct SoakParams {
   std::uint64_t seed;
@@ -35,7 +46,8 @@ TEST_P(Soak, LongRunConverges) {
   wp.max_objects = 1500;
   sim::RandomWorkload w(rt, wp, p.seed * 104729 + 3);
 
-  for (int round = 0; round < p.rounds; ++round) {
+  const int rounds = p.rounds * soak_multiplier();
+  for (int round = 0; round < rounds; ++round) {
     w.steps(30);
     rt.run_for(20'000);
     if (round % 10 == 0) {

@@ -6,13 +6,19 @@
 //
 //   adgc_sim [--procs=N] [--seed=S] [--loss=P] [--dup=P]
 //            [--steps=K] [--rounds=R] [--settle-ms=T]
-//            [--summarizer=bfs|scc] [--no-dcda] [--rmi-edges] [--verbose]
+//            [--summarizer=bfs|scc] [--no-dcda] [--rmi-edges]
+//            [--crash-every=R] [--verbose]
+//
+// --crash-every=R crashes and restarts a rotating victim process every R
+// workload rounds (with persistent snapshots on, so restarts recover); the
+// shadow oracle is resynced to the rolled-back state after each restart.
 //
 // Exit status: 0 if the run converged (no garbage left, no live object
 // lost), 1 otherwise — usable as a soak-test in CI loops.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "src/common/log.h"
@@ -34,6 +40,7 @@ struct Options {
   bool use_scc = true;
   bool dcda = true;
   bool rmi_edges = false;
+  int crash_every = 0;  // 0 = no fault injection
   bool verbose = false;
 };
 
@@ -53,7 +60,7 @@ bool parse_flag(const char* arg, const char* name, std::string* value) {
   std::fprintf(stderr,
                "usage: %s [--procs=N] [--seed=S] [--loss=P] [--dup=P] [--steps=K]\n"
                "          [--rounds=R] [--settle-ms=T] [--summarizer=bfs|scc]\n"
-               "          [--no-dcda] [--rmi-edges] [--verbose]\n",
+               "          [--no-dcda] [--rmi-edges] [--crash-every=R] [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -86,6 +93,8 @@ Options parse(int argc, char** argv) {
       }
     } else if (parse_flag(argv[i], "--no-dcda", &v)) {
       opt.dcda = false;
+    } else if (parse_flag(argv[i], "--crash-every", &v)) {
+      opt.crash_every = std::atoi(v.c_str());
     } else if (parse_flag(argv[i], "--rmi-edges", &v)) {
       opt.rmi_edges = true;
     } else if (parse_flag(argv[i], "--verbose", &v)) {
@@ -114,6 +123,13 @@ int main(int argc, char** argv) {
   cfg.proc.dcda_enabled = opt.dcda;
   cfg.proc.summarizer = opt.use_scc ? ProcessConfig::SummarizerKind::kScc
                                     : ProcessConfig::SummarizerKind::kBfs;
+  std::filesystem::path crash_dir;
+  if (opt.crash_every > 0) {
+    crash_dir = std::filesystem::temp_directory_path() /
+                ("adgc_sim_crash_" + std::to_string(opt.seed));
+    std::filesystem::remove_all(crash_dir);
+    cfg.proc.snapshot_dir = crash_dir.string();
+  }
   Runtime rt(opt.procs, cfg);
 
   sim::WorkloadParams wp;
@@ -124,9 +140,22 @@ int main(int argc, char** argv) {
   std::printf("workload: %d rounds x %d steps, rmi_edges=%s\n", opt.rounds, opt.steps,
               opt.rmi_edges ? "on" : "off");
 
+  ProcessId next_victim = 0;
   for (int round = 0; round < opt.rounds; ++round) {
     workload.steps(static_cast<std::size_t>(opt.steps));
     rt.run_for(15'000);
+    if (opt.crash_every > 0 && (round + 1) % opt.crash_every == 0) {
+      const ProcessId victim = next_victim;
+      next_victim = static_cast<ProcessId>((next_victim + 1) % opt.procs);
+      rt.crash(victim);
+      rt.run_for(20'000);
+      const bool recovered = rt.restart(victim);
+      workload.sync_after_restart(victim);
+      if (opt.verbose) {
+        std::printf("round %d: crashed+restarted P%u (inc %u, %s)\n", round, victim,
+                    rt.incarnation(victim), recovered ? "recovered" : "cold start");
+      }
+    }
     if (auto violation = workload.find_safety_violation()) {
       std::printf("SAFETY VIOLATION at round %d: live %s was collected\n", round,
                   to_string(*violation).c_str());
@@ -144,6 +173,7 @@ int main(int argc, char** argv) {
               st.total_objects, live.size(), st.garbage_objects, st.stubs, st.scions);
   std::printf("\nprotocol metrics:\n%s", rt.total_metrics().report("  ").c_str());
 
+  if (!crash_dir.empty()) std::filesystem::remove_all(crash_dir);
   if (!workload.converged()) {
     std::printf("\nNOT CONVERGED (garbage left or live objects missing)\n");
     return 1;
