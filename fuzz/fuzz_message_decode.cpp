@@ -1,0 +1,26 @@
+// libFuzzer harness over the wire-message codec (the ByteReader path every
+// network byte takes before reaching a Process). The contract under fuzzing:
+// any input either decodes to a well-formed payload — which must then
+// re-encode without throwing — or throws DecodeError. Crashes, hangs,
+// sanitizer reports and absurd allocations are bugs.
+//
+// Built as a real libFuzzer target under Clang (-fsanitize=fuzzer); under
+// other compilers the same body is linked against the corpus replay driver
+// (replay_driver.cpp) so the harness logic runs everywhere.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/net/message.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::byte> bytes(reinterpret_cast<const std::byte*>(data), size);
+  try {
+    const adgc::MessagePayload m = adgc::decode_message(bytes);
+    // Decoded → the payload must be internally consistent enough to encode.
+    (void)adgc::encode_message(m);
+  } catch (const adgc::DecodeError&) {
+    // The expected outcome for almost all inputs.
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// libFuzzer harness over the snapshot deserializers (the bytes a process
+// trusts during crash recovery). Contract: any input either deserializes to
+// a snapshot — which must then re-serialize without throwing — or throws
+// DecodeError. See fuzz_message_decode.cpp for the build story.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/snapshot/serializer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::byte> bytes(reinterpret_cast<const std::byte*>(data), size);
+  static const adgc::BinarySerializer binary;
+  static const adgc::NaiveSerializer naive;
+  try {
+    const adgc::SnapshotData snap = binary.deserialize(bytes);
+    (void)binary.serialize(snap);
+  } catch (const adgc::DecodeError&) {
+  }
+  try {
+    const adgc::SnapshotData snap = naive.deserialize(bytes);
+    (void)naive.serialize(snap);
+  } catch (const adgc::DecodeError&) {
+  }
+  return 0;
+}

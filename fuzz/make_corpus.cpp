@@ -1,0 +1,119 @@
+// Seed-corpus generator: writes one file per representative wire message
+// (every message kind the codec knows) plus a serialized snapshot into the
+// directory given as argv[1]. The checked-in corpus under fuzz/corpus/ was
+// produced by this tool; regenerate after changing the wire format.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/snapshot/serializer.h"
+
+using namespace adgc;
+
+namespace {
+
+void write_file(const std::filesystem::path& dir, const std::string& name,
+                const std::vector<std::byte>& bytes) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("  %s (%zu bytes)\n", name.c_str(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path dir = argv[1];
+  std::filesystem::create_directories(dir);
+
+  InvokeMsg inv;
+  inv.ref = make_ref_id(1, 2);
+  inv.ic = 3;
+  inv.target = {2, 4};
+  inv.caller = {1, 9};
+  inv.effect = InvokeEffect::kStoreArgs;
+  inv.args = {{make_ref_id(1, 3), {3, 8}}};
+  inv.payload.assign(48, std::byte{7});
+  inv.want_reply = true;
+  inv.call_id = 77;
+  write_file(dir, "invoke", encode_message(inv));
+
+  ReplyMsg rep;
+  rep.ref = make_ref_id(4, 1);
+  rep.ic = 17;
+  rep.call_id = 77;
+  write_file(dir, "reply", encode_message(rep));
+
+  NewSetStubsMsg nss;
+  nss.export_seq = 5;
+  nss.live = {make_ref_id(0, 1), make_ref_id(0, 2), make_ref_id(0, 3)};
+  write_file(dir, "new_set_stubs", encode_message(nss));
+
+  AddScionMsg add;
+  add.ref = make_ref_id(2, 2);
+  add.target_seq = 11;
+  add.holder = 6;
+  add.handshake = 41;
+  write_file(dir, "add_scion", encode_message(add));
+
+  AddScionAckMsg ack;
+  ack.ref = make_ref_id(2, 2);
+  ack.handshake = 41;
+  write_file(dir, "add_scion_ack", encode_message(ack));
+
+  CdmMsg cdm;
+  cdm.detection = {1, 2};
+  cdm.candidate = make_ref_id(1, 1);
+  cdm.via = make_ref_id(2, 2);
+  cdm.via_ic = 9;
+  cdm.hops = 3;
+  cdm.source = {{make_ref_id(1, 1), 0}, {make_ref_id(3, 3), 1}};
+  cdm.target = {{make_ref_id(2, 2), 0}};
+  write_file(dir, "cdm", encode_message(cdm));
+
+  BacktraceRequestMsg btq;
+  btq.trace_id = 9;
+  btq.req_id = 10;
+  btq.subject_ref = make_ref_id(0, 5);
+  btq.visited = {make_ref_id(0, 5), make_ref_id(1, 6)};
+  write_file(dir, "backtrace_request", encode_message(btq));
+
+  BacktraceReplyMsg btr;
+  btr.trace_id = 9;
+  btr.req_id = 10;
+  btr.reachable = true;
+  write_file(dir, "backtrace_reply", encode_message(btr));
+
+  GtStartMsg gst;
+  gst.epoch = 2;
+  write_file(dir, "gt_start", encode_message(gst));
+
+  GtStatusMsg gs;
+  gs.epoch = 2;
+  gs.marks_sent = 100;
+  write_file(dir, "gt_status", encode_message(gs));
+
+  SnapshotData snap;
+  snap.pid = 1;
+  for (ObjectSeq i = 1; i <= 6; ++i) {
+    SnapshotData::Obj o;
+    o.seq = i;
+    if (i > 1) o.local_fields.push_back(i - 1);
+    o.payload.assign(4, std::byte{static_cast<unsigned char>(i)});
+    snap.objects.push_back(std::move(o));
+  }
+  snap.stubs.push_back({make_ref_id(1, 1), {2, 2}, 3});
+  snap.scions.push_back({make_ref_id(2, 1), 3, 4, 5});
+  write_file(dir, "snapshot_binary", BinarySerializer{}.serialize(snap));
+  write_file(dir, "snapshot_naive", NaiveSerializer{}.serialize(snap));
+
+  std::printf("corpus written to %s\n", dir.string().c_str());
+  return 0;
+}

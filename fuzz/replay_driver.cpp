@@ -1,0 +1,53 @@
+// Plain-main corpus replay driver: feeds every file passed on the command
+// line (or every regular file inside a directory argument) through
+// LLVMFuzzerTestOneInput. This is what non-Clang builds — which have no
+// libFuzzer — link the fuzz harness bodies against, and what CI uses to
+// regression-replay the checked-in seed corpus under the sanitizers.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path.string().c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg = argv[i];
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (replay_file(entry.path()) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (replay_file(arg) != 0) return 1;
+      ++replayed;
+    }
+  }
+  std::printf("replayed %zu corpus inputs, no crash\n", replayed);
+  return 0;
+}

@@ -13,7 +13,8 @@ std::string RuntimeConfig::describe() const {
      << "us, scan=" << proc.dcda_scan_period_us
      << "us, quarantine=" << proc.candidate_quarantine_us
      << "us, dgc=" << (proc.dgc_enabled ? "on" : "off")
-     << ", dcda=" << (proc.dcda_enabled ? "on" : "off") << "} seed=" << seed;
+     << ", dcda=" << (proc.dcda_enabled ? "on" : "off")
+     << ", adaptive=" << (proc.adaptive_faults ? "on" : "off") << "} seed=" << seed;
   return os.str();
 }
 

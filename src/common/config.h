@@ -39,6 +39,34 @@ struct ProcessConfig {
   /// never corrupts).
   int add_scion_max_retries = 20;
 
+  // --- adaptive degradation (per-peer health, backoff, load shedding) ---
+  /// Master switch. When off, every retry uses its fixed interval, no peer
+  /// is ever suspected and nothing is shed — the pre-adaptive baseline the
+  /// chaos harness compares against.
+  bool adaptive_faults = true;
+  /// Cap on exponentially backed-off retry delays (AddScion re-sends and
+  /// NewSetStubs deferral to suspected peers). The base of each series is
+  /// its fixed interval (`add_scion_retry_us`, `lgc_period_us`).
+  SimTime backoff_cap_us = 200'000;
+  /// Cap on the per-candidate detection re-launch backoff (base is
+  /// `dcda_scan_period_us`, doubled per consecutive timeout).
+  SimTime detection_backoff_cap_us = 4'000'000;
+  /// EWMA smoothing factor for the per-peer ack/reply latency estimate.
+  double health_ewma_alpha = 0.2;
+  /// A peer is suspected after this many retry timers fired unanswered...
+  std::uint32_t suspect_after_failures = 3;
+  /// ...or, phi-accrual style, when it has been silent for more than
+  /// `suspect_phi` × smoothed-RTT while messages to it are outstanding.
+  double suspect_phi = 16.0;
+  /// Lower bound on the RTT used by the accrual test (guards against a few
+  /// lucky fast samples making the detector hair-triggered).
+  SimTime suspect_rtt_floor_us = 2'000;
+  /// Bound on the sender-side outgoing window per peer (messages sent since
+  /// the peer was last heard from). Above it, CDMs to that peer are shed;
+  /// above twice it, NewSetStubs are too. Invocations, replies and the
+  /// AddScion handshake are never shed. 0 disables shedding.
+  std::uint32_t peer_outstanding_limit = 128;
+
   /// Grace period protecting a *pending* (never yet confirmed by its holder)
   /// scion from NewSetStubs deletion while the reference may still be in
   /// flight toward the holder.

@@ -33,6 +33,7 @@ const std::vector<Field>& fields() {
       {"new_set_stubs_received", &Metrics::new_set_stubs_received},
       {"add_scion_sent", &Metrics::add_scion_sent},
       {"add_scion_retries", &Metrics::add_scion_retries},
+      {"add_scion_abandoned", &Metrics::add_scion_abandoned},
       {"lgc_runs", &Metrics::lgc_runs},
       {"objects_allocated", &Metrics::objects_allocated},
       {"objects_reclaimed", &Metrics::objects_reclaimed},
@@ -63,6 +64,12 @@ const std::vector<Field>& fields() {
       {"messages_lost", &Metrics::messages_lost},
       {"messages_duplicated", &Metrics::messages_duplicated},
       {"bytes_sent", &Metrics::bytes_sent},
+      {"peer_suspect_transitions", &Metrics::peer_suspect_transitions},
+      {"cdms_shed", &Metrics::cdms_shed},
+      {"new_set_stubs_shed", &Metrics::new_set_stubs_shed},
+      {"new_set_stubs_deferred", &Metrics::new_set_stubs_deferred},
+      {"detections_deferred_backoff", &Metrics::detections_deferred_backoff},
+      {"candidates_deprioritized", &Metrics::candidates_deprioritized},
       {"process_crashes", &Metrics::process_crashes},
       {"process_restarts", &Metrics::process_restarts},
       {"restarts_recovered", &Metrics::restarts_recovered},

@@ -50,6 +50,7 @@ struct Metrics {
   Counter new_set_stubs_received;
   Counter add_scion_sent;
   Counter add_scion_retries;
+  Counter add_scion_abandoned;  // handshake gave up after max retries
 
   // Local GC.
   Counter lgc_runs;
@@ -92,6 +93,14 @@ struct Metrics {
   Counter messages_lost;
   Counter messages_duplicated;
   Counter bytes_sent;
+
+  // Adaptive degradation (per-peer health, backoff, load shedding).
+  Counter peer_suspect_transitions;     // healthy→suspected flips observed
+  Counter cdms_shed;                    // CDM dropped at the sender (window full)
+  Counter new_set_stubs_shed;           // NewSetStubs dropped at the sender
+  Counter new_set_stubs_deferred;       // periodic NSS skipped (suspected peer backoff)
+  Counter detections_deferred_backoff;  // candidate skipped (relaunch backoff)
+  Counter candidates_deprioritized;     // candidate ranked last (suspected first hop)
 
   // Crash/restart fault model.
   Counter process_crashes;

@@ -7,7 +7,9 @@ namespace adgc {
 std::vector<RefId> select_candidates(const ScionTable& scions, const SummarizedGraph* snap,
                                      const DetectionManager& manager,
                                      const ProcessConfig& cfg, SimTime now,
-                                     std::uint64_t scan_seq) {
+                                     std::uint64_t scan_seq,
+                                     const CandidateHealthView* health,
+                                     Metrics* metrics) {
   std::vector<RefId> out;
   if (!snap) return out;
   const std::size_t budget =
@@ -21,6 +23,7 @@ std::vector<RefId> select_candidates(const ScionTable& scions, const SummarizedG
     RefId ref;
     SimTime last_ic_change;
     std::size_t fanout;
+    bool suspect_hop = false;  // some first CDM hop crosses a suspected link
   };
   std::vector<Eligible> eligible;
   for (const auto& [ref, scion] : scions) {
@@ -30,7 +33,27 @@ std::vector<RefId> select_candidates(const ScionTable& scions, const SummarizedG
     if (!sum || sum->ic != scion.ic) continue;
     if (sum->stubs_from.empty()) continue;
     if (manager.candidate_active(ref)) continue;
-    eligible.push_back({ref, scion.last_ic_change, sum->stubs_from.size()});
+    if (health && health->not_before) {
+      auto it = health->not_before->find(ref);
+      if (it != health->not_before->end() && now < it->second) {
+        if (metrics) metrics->detections_deferred_backoff.add();
+        continue;
+      }
+    }
+    Eligible e{ref, scion.last_ic_change, sum->stubs_from.size(), false};
+    if (health && health->peers && cfg.adaptive_faults) {
+      // A detection needs every branch to come back; one suspected first hop
+      // is enough to make it a bad use of the in-flight budget right now.
+      for (RefId stub_ref : sum->stubs_from) {
+        const StubSummary* stub = snap->stub(stub_ref);
+        if (stub && health->peers->suspected(stub->target.owner, now)) {
+          e.suspect_hop = true;
+          break;
+        }
+      }
+      if (e.suspect_hop && metrics) metrics->candidates_deprioritized.add();
+    }
+    eligible.push_back(e);
   }
   if (eligible.empty()) return out;
 
@@ -54,6 +77,12 @@ std::vector<RefId> select_candidates(const ScionTable& scions, const SummarizedG
       break;
     }
   }
+
+  // Suspected-hop candidates sink below every healthy one (stable: the
+  // policy order is preserved within each class). They are still taken when
+  // the budget allows — deprioritized, never starved.
+  std::stable_partition(eligible.begin(), eligible.end(),
+                        [](const Eligible& e) { return !e.suspect_hop; });
 
   const std::size_t take = std::min(budget, eligible.size());
   out.reserve(take);

@@ -12,20 +12,36 @@
 //   * no detection is already in flight for it.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "src/common/config.h"
 #include "src/dcda/detection_manager.h"
 #include "src/dgc/scion_table.h"
+#include "src/net/peer_health.h"
 #include "src/snapshot/snapshot.h"
 
 namespace adgc {
+
+/// Adaptive-degradation inputs to candidate selection (all optional).
+/// Candidates whose first CDM hop would cross a suspected link are ranked
+/// after all healthy ones — the in-flight budget is spent where CDMs have a
+/// chance of arriving — and candidates whose previous detections timed out
+/// are skipped entirely until their backoff deadline passes.
+struct CandidateHealthView {
+  PeerHealthTracker* peers = nullptr;  // non-const: suspected() updates state
+  /// Per-candidate earliest re-launch time (exponential backoff after
+  /// timeouts), maintained by the process.
+  const std::map<RefId, SimTime>* not_before = nullptr;
+};
 
 /// `scan_seq` is a monotonically increasing per-process scan counter (used
 /// by the round-robin policy to rotate its starting point).
 std::vector<RefId> select_candidates(const ScionTable& scions, const SummarizedGraph* snap,
                                      const DetectionManager& manager,
                                      const ProcessConfig& cfg, SimTime now,
-                                     std::uint64_t scan_seq = 0);
+                                     std::uint64_t scan_seq = 0,
+                                     const CandidateHealthView* health = nullptr,
+                                     Metrics* metrics = nullptr);
 
 }  // namespace adgc

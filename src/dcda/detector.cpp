@@ -212,11 +212,13 @@ void Detector::abort_for_crash(ProcessId crashed, SimTime /*now*/) {
   }
 }
 
-void Detector::expire(SimTime now) {
-  for (const auto& rec : manager_.expire(now)) {
+std::vector<DetectionManager::Record> Detector::expire(SimTime now) {
+  std::vector<DetectionManager::Record> expired = manager_.expire(now);
+  for (const auto& rec : expired) {
     metrics_.detections_timed_out.add();
     ADGC_DEBUG("P" << pid_ << " detection timed out: " << to_string(rec.id));
   }
+  return expired;
 }
 
 }  // namespace adgc

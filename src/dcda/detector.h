@@ -61,8 +61,10 @@ class Detector {
   /// Handles a delivered CDM.
   void on_cdm(const CdmMsg& msg, SimTime now);
 
-  /// Expires timed-out detections (message-loss tolerance).
-  void expire(SimTime now);
+  /// Expires timed-out detections (message-loss tolerance). Returns the
+  /// expired records so the process can back off re-launching their
+  /// candidates (a timeout usually means a lossy or partitioned link).
+  std::vector<DetectionManager::Record> expire(SimTime now);
 
   /// A peer process crashed: aborts every in-flight detection this process
   /// initiated. Any of them may have a CDM touching the crashed process, and

@@ -1,0 +1,99 @@
+#include "src/net/peer_health.h"
+
+#include <algorithm>
+
+namespace adgc {
+
+SimTime backoff_delay(SimTime base_us, SimTime cap_us, int attempt, Rng& rng) {
+  if (base_us == 0) base_us = 1;
+  SimTime d = base_us;
+  for (int i = 0; i < attempt && d < cap_us; ++i) d <<= 1;
+  d = std::min(d, std::max<SimTime>(cap_us, 1));
+  // Equal jitter: [d/2, d). Always at least 1us so schedule() makes progress.
+  const SimTime half = std::max<SimTime>(d / 2, 1);
+  return half + rng.below(std::max<SimTime>(d - half, 1));
+}
+
+void PeerHealthTracker::on_send(ProcessId peer) {
+  Peer& p = slot(peer);
+  if (p.outstanding < ~std::uint32_t{0}) ++p.outstanding;
+}
+
+void PeerHealthTracker::on_heard(ProcessId peer, SimTime now) {
+  Peer& p = slot(peer);
+  p.last_heard = now;
+  p.consecutive_failures = 0;
+  p.outstanding = 0;
+}
+
+void PeerHealthTracker::on_response(ProcessId peer, SimTime rtt_us, SimTime now) {
+  Peer& p = slot(peer);
+  const double sample = static_cast<double>(rtt_us);
+  if (p.srtt_us <= 0.0) {
+    p.srtt_us = sample;
+  } else {
+    const double a = std::clamp(cfg_.health_ewma_alpha, 0.0, 1.0);
+    p.srtt_us = a * sample + (1.0 - a) * p.srtt_us;
+  }
+  p.last_heard = now;
+  p.consecutive_failures = 0;
+  p.outstanding = 0;
+}
+
+void PeerHealthTracker::on_timeout(ProcessId peer, SimTime /*now*/) {
+  Peer& p = slot(peer);
+  if (p.consecutive_failures < ~std::uint32_t{0}) ++p.consecutive_failures;
+}
+
+bool PeerHealthTracker::compute_suspected(const Peer& p, SimTime now) const {
+  if (p.consecutive_failures >= cfg_.suspect_after_failures) return true;
+  // Accrual half: only while we are actively trying to reach the peer.
+  if (p.outstanding == 0) return false;
+  if (p.last_heard == 0) return false;  // never heard: no baseline to accrue on
+  const double floor_us = static_cast<double>(std::max<SimTime>(cfg_.suspect_rtt_floor_us, 1));
+  const double srtt = std::max(p.srtt_us, floor_us);
+  const double silence = static_cast<double>(now - p.last_heard);
+  return silence > cfg_.suspect_phi * srtt;
+}
+
+bool PeerHealthTracker::suspected(ProcessId peer, SimTime now) {
+  Peer& p = slot(peer);
+  const bool s = compute_suspected(p, now);
+  if (s && !p.suspected) metrics_.peer_suspect_transitions.add();
+  p.suspected = s;
+  return s;
+}
+
+double PeerHealthTracker::phi(ProcessId peer, SimTime now) const {
+  const Peer* p = find(peer);
+  if (!p || p->outstanding == 0 || p->last_heard == 0) return 0.0;
+  const double floor_us = static_cast<double>(std::max<SimTime>(cfg_.suspect_rtt_floor_us, 1));
+  const double srtt = std::max(p->srtt_us, floor_us);
+  return static_cast<double>(now - p->last_heard) / srtt;
+}
+
+double PeerHealthTracker::srtt_us(ProcessId peer) const {
+  const Peer* p = find(peer);
+  return p ? p->srtt_us : 0.0;
+}
+
+std::uint32_t PeerHealthTracker::outstanding(ProcessId peer) const {
+  const Peer* p = find(peer);
+  return p ? p->outstanding : 0;
+}
+
+std::uint32_t PeerHealthTracker::consecutive_failures(ProcessId peer) const {
+  const Peer* p = find(peer);
+  return p ? p->consecutive_failures : 0;
+}
+
+std::size_t PeerHealthTracker::suspected_count() const {
+  std::size_t n = 0;
+  for (const auto& [pid, p] : peers_) {
+    (void)pid;
+    if (p.suspected) ++n;
+  }
+  return n;
+}
+
+}  // namespace adgc

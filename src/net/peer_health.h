@@ -1,0 +1,107 @@
+// Per-peer link-health estimation and adaptive retry policy.
+//
+// One PeerHealthTracker per process, maintained from that process's own
+// observations: round-trip samples from acked handshakes and invocation
+// replies, *any* inbound message as a liveness signal, and retry timers
+// firing unanswered as failures. From these it derives a lightweight
+// phi-accrual-style suspicion verdict per peer:
+//
+//   suspected(peer)  ⇔  consecutive_failures ≥ suspect_after_failures
+//                    ∨  (outstanding > 0 ∧ silence > phi · max(srtt, floor))
+//
+// where `silence` is the time since the peer was last heard from and
+// `outstanding` counts messages sent to the peer since then (so an idle but
+// healthy peer is never suspected — accrual only runs while we are actually
+// trying to talk to it).
+//
+// The tracker also carries the per-peer outgoing-window bound used for
+// priority load shedding: `outstanding` is the sender-side estimate of
+// queued/in-flight traffic toward the peer, reset by any sign of life.
+// Everything is deterministic; the backoff jitter draws from the caller's
+// seeded Rng.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+
+namespace adgc {
+
+/// Exponential backoff with deterministic "equal jitter": the delay for
+/// `attempt` (0-based) is uniform in [d/2, d) where d = min(cap, base·2^a).
+/// Drawing from a seeded Rng keeps runs reproducible while de-phasing
+/// retries across processes (synchronized retry bursts are exactly what a
+/// congested link does not need).
+SimTime backoff_delay(SimTime base_us, SimTime cap_us, int attempt, Rng& rng);
+
+class PeerHealthTracker {
+ public:
+  struct Peer {
+    /// EWMA of observed ack/reply round-trip latency, microseconds.
+    double srtt_us = 0.0;          // 0 = no sample yet
+    /// Retry timers that fired without the peer answering since it was
+    /// last heard from.
+    std::uint32_t consecutive_failures = 0;
+    /// Last time anything arrived from the peer (0 = never).
+    SimTime last_heard = 0;
+    /// Messages sent to the peer since it was last heard from — the
+    /// sender-side outgoing-window estimate the shedding bound applies to.
+    std::uint32_t outstanding = 0;
+    /// Sticky flag for metrics: whether the last verdict was "suspected".
+    bool suspected = false;
+  };
+
+  PeerHealthTracker(const ProcessConfig& cfg, Metrics& metrics)
+      : cfg_(cfg), metrics_(metrics) {}
+
+  /// A message was handed to the transport for `peer`.
+  void on_send(ProcessId peer);
+
+  /// Anything arrived from `peer` (liveness signal: resets the failure count
+  /// and the outgoing window).
+  void on_heard(ProcessId peer, SimTime now);
+
+  /// An ack/reply arrived whose send time is known: liveness plus an RTT
+  /// sample folded into the EWMA.
+  void on_response(ProcessId peer, SimTime rtt_us, SimTime now);
+
+  /// A retry timer fired without an answer from `peer`.
+  void on_timeout(ProcessId peer, SimTime now);
+
+  /// Current suspicion verdict. Updates the sticky flag and bumps the
+  /// suspect-transition counter, so call sites need no extra bookkeeping.
+  bool suspected(ProcessId peer, SimTime now);
+
+  /// Accrual value: silence toward an actively-contacted peer, in units of
+  /// the smoothed RTT (0 when idle or never contacted). Diagnostics.
+  double phi(ProcessId peer, SimTime now) const;
+
+  /// Smoothed RTT estimate (0 when no sample yet).
+  double srtt_us(ProcessId peer) const;
+
+  /// Sender-side outgoing-window estimate toward `peer`.
+  std::uint32_t outstanding(ProcessId peer) const;
+
+  std::uint32_t consecutive_failures(ProcessId peer) const;
+
+  /// Number of peers currently in the suspected state (diagnostics).
+  std::size_t suspected_count() const;
+
+ private:
+  Peer& slot(ProcessId peer) { return peers_[peer]; }
+  const Peer* find(ProcessId peer) const {
+    auto it = peers_.find(peer);
+    return it == peers_.end() ? nullptr : &it->second;
+  }
+  bool compute_suspected(const Peer& p, SimTime now) const;
+
+  const ProcessConfig& cfg_;
+  Metrics& metrics_;
+  std::unordered_map<ProcessId, Peer> peers_;
+};
+
+}  // namespace adgc

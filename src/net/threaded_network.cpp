@@ -31,6 +31,30 @@ Incarnation ThreadedNetwork::incarnation(ProcessId pid) const {
   return peers_.at(pid)->inc.load(std::memory_order_acquire);
 }
 
+void ThreadedNetwork::set_link_blocked(ProcessId a, ProcessId b, bool blocked) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  if (blocked) {
+    blocked_.insert({a, b});
+  } else {
+    blocked_.erase({a, b});
+  }
+}
+
+bool ThreadedNetwork::link_blocked(ProcessId a, ProcessId b) const {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return blocked_.contains({a, b});
+}
+
+void ThreadedNetwork::set_loss_probability(double p) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  cfg_.loss_probability = p;
+}
+
+void ThreadedNetwork::set_duplicate_probability(double p) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  cfg_.duplicate_probability = p;
+}
+
 void ThreadedNetwork::enqueue(ProcessId pid, WorkItem item) {
   Box& box = *boxes_.at(pid);
   {
@@ -55,7 +79,8 @@ void ThreadedNetwork::send(Envelope env) {
   bool dup = false;
   {
     std::lock_guard<std::mutex> lock(rng_mu_);
-    lost = rng_.chance(cfg_.loss_probability);
+    // A blocked link drops everything: a partition IS sustained omission.
+    lost = blocked_.contains({env.src, env.dst}) || rng_.chance(cfg_.loss_probability);
     if (!lost) dup = rng_.chance(cfg_.duplicate_probability);
   }
   if (lost) {

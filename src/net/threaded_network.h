@@ -12,6 +12,8 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -44,6 +46,15 @@ class ThreadedNetwork {
   Incarnation bump_incarnation(ProcessId pid);
   Incarnation incarnation(ProcessId pid) const;
 
+  // ---- link faults (omission/partition fault model) ----
+  /// Blocks/unblocks the directed link a→b (network partition). Blocked
+  /// messages count as lost — a partition IS sustained omission.
+  void set_link_blocked(ProcessId a, ProcessId b, bool blocked);
+  bool link_blocked(ProcessId a, ProcessId b) const;
+  /// Retunes loss/duplication mid-run (chaos harness phases).
+  void set_loss_probability(double p);
+  void set_duplicate_probability(double p);
+
   /// Posts a closure to run on `pid`'s thread.
   void post(ProcessId pid, std::function<void()> fn);
 
@@ -74,8 +85,9 @@ class ThreadedNetwork {
 
   NetworkConfig cfg_;
   Metrics* metrics_;
-  mutable std::mutex rng_mu_;
+  mutable std::mutex rng_mu_;  // guards rng_, cfg_ fault knobs and blocked_
   Rng rng_;
+  std::set<std::pair<ProcessId, ProcessId>> blocked_;
   std::vector<std::unique_ptr<Box>> boxes_;
   std::vector<std::unique_ptr<PeerState>> peers_;
   std::atomic<bool> shutdown_{false};

@@ -74,7 +74,32 @@ void Process::dcda_tick() {
   env_.schedule(cfg_.dcda_scan_period_us, [this] { dcda_tick(); });
 }
 
-void Process::send(ProcessId dst, const MessagePayload& msg) { env_.send(dst, msg); }
+void Process::send(ProcessId dst, const MessagePayload& msg) {
+  // Priority load shedding: when the outgoing window toward a *suspected*
+  // peer is full, shed CDMs first, then NewSetStubs. Both protocols are
+  // loss-tolerant (a shed CDM times out at the initiator and is retried; a
+  // shed NSS is superseded by the next full-state re-send), so shedding can
+  // only delay collection, never corrupt it. Invocations, replies and the
+  // AddScion handshake are never shed.
+  if (cfg_.adaptive_faults && cfg_.peer_outstanding_limit > 0) {
+    const std::uint32_t window = peer_health_.outstanding(dst);
+    if (window >= cfg_.peer_outstanding_limit && peer_health_.suspected(dst, env_.now())) {
+      if (std::holds_alternative<CdmMsg>(msg)) {
+        metrics().cdms_shed.add();
+        ADGC_TRACE("P" << pid_ << " shedding CDM to suspected P" << dst);
+        return;
+      }
+      if (window >= 2 * cfg_.peer_outstanding_limit &&
+          std::holds_alternative<NewSetStubsMsg>(msg)) {
+        metrics().new_set_stubs_shed.add();
+        ADGC_TRACE("P" << pid_ << " shedding NewSetStubs to suspected P" << dst);
+        return;
+      }
+    }
+  }
+  peer_health_.on_send(dst);
+  env_.send(dst, msg);
+}
 
 // ---------------------------------------------------------------- mutator
 
@@ -174,23 +199,31 @@ ExportedRef Process::begin_third_party_export(RefId held, ProcessId receiver,
   hs.msg.target_seq = stub->target.seq;
   hs.msg.holder = receiver;
   hs.msg.handshake = hs.id;
+  hs.last_sent = env_.now();
   pin_stub(held);
   send(hs.owner, hs.msg);
   metrics().add_scion_sent.add();
   const std::uint64_t id = hs.id;
   handshakes_.emplace(id, std::move(hs));
-  env_.schedule(cfg_.add_scion_retry_us, [this, id] { retry_handshake(id); });
+  env_.schedule(handshake_retry_delay(0), [this, id] { retry_handshake(id); });
   *handshake_out = id;
   return out;
+}
+
+SimTime Process::handshake_retry_delay(int attempt) {
+  if (!cfg_.adaptive_faults) return cfg_.add_scion_retry_us;
+  return backoff_delay(cfg_.add_scion_retry_us, cfg_.backoff_cap_us, attempt, env_.rng());
 }
 
 void Process::retry_handshake(std::uint64_t id) {
   auto it = handshakes_.find(id);
   if (it == handshakes_.end()) return;  // already acked
   Handshake& hs = it->second;
+  peer_health_.on_timeout(hs.owner, env_.now());
   if (++hs.retries > cfg_.add_scion_max_retries) {
     ADGC_ERROR("P" << pid_ << " abandoning export after " << hs.retries
                    << " AddScion retries (ref " << ref_to_string(hs.msg.ref) << ")");
+    metrics().add_scion_abandoned.add();
     const std::uint64_t call_id = hs.call_id;
     unpin_stub(hs.pinned_stub);
     handshakes_.erase(it);
@@ -198,8 +231,9 @@ void Process::retry_handshake(std::uint64_t id) {
     return;
   }
   metrics().add_scion_retries.add();
+  hs.last_sent = env_.now();
   send(hs.owner, hs.msg);
-  env_.schedule(cfg_.add_scion_retry_us, [this, id] { retry_handshake(id); });
+  env_.schedule(handshake_retry_delay(hs.retries), [this, id] { retry_handshake(id); });
 }
 
 void Process::abandon_invoke(std::uint64_t call_id) {
@@ -244,6 +278,12 @@ void Process::really_send_invoke(PendingInvoke&& inv) {
   msg.want_reply = inv.want_reply && cfg_.send_replies;
   msg.call_id = inv.call_id;
   metrics().invocations_sent.add();
+  if (msg.want_reply) {
+    // Remember the send time: the reply is an RTT sample for the callee.
+    while (inflight_calls_.size() >= 512) inflight_calls_.erase(inflight_calls_.begin());
+    inflight_calls_.emplace(msg.call_id,
+                            std::make_pair(stub->target.owner, env_.now()));
+  }
   send(stub->target.owner, msg);
 }
 
@@ -287,6 +327,8 @@ void Process::unpin_stub(RefId ref) {
 // --------------------------------------------------------------- delivery
 
 void Process::deliver(const Envelope& envelope) {
+  // Any inbound traffic is a liveness signal for the sending peer.
+  peer_health_.on_heard(envelope.src, env_.now());
   MessagePayload payload;
   try {
     payload = decode_message(envelope.bytes);
@@ -396,8 +438,14 @@ void Process::on_invoke(ProcessId src, const InvokeMsg& msg) {
   }
 }
 
-void Process::on_reply(ProcessId /*src*/, const ReplyMsg& msg) {
+void Process::on_reply(ProcessId src, const ReplyMsg& msg) {
   metrics().replies_received.add();
+  if (auto it = inflight_calls_.find(msg.call_id); it != inflight_calls_.end()) {
+    if (it->second.first == src) {
+      peer_health_.on_response(src, env_.now() - it->second.second, env_.now());
+    }
+    inflight_calls_.erase(it);
+  }
   if (!cfg_.dgc_enabled) return;
   if (StubEntry* stub = stubs_.find(msg.ref); stub && msg.ic > stub->ic) {
     stub->ic = msg.ic;
@@ -427,9 +475,12 @@ void Process::on_add_scion(ProcessId src, const AddScionMsg& msg) {
   send(src, ack);
 }
 
-void Process::on_add_scion_ack(ProcessId /*src*/, const AddScionAckMsg& msg) {
+void Process::on_add_scion_ack(ProcessId src, const AddScionAckMsg& msg) {
   auto it = handshakes_.find(msg.handshake);
   if (it == handshakes_.end()) return;  // duplicate ack
+  if (it->second.last_sent > 0 && src == it->second.owner) {
+    peer_health_.on_response(src, env_.now() - it->second.last_sent, env_.now());
+  }
   const std::uint64_t call_id = it->second.call_id;
   unpin_stub(it->second.pinned_stub);
   handshakes_.erase(it);
@@ -463,6 +514,8 @@ void Process::on_cycle_found(DetectionId id, RefId candidate, std::uint64_t expe
   ADGC_INFO("P" << pid_ << " deleting scion " << ref_to_string(candidate)
                 << " (distributed cycle)");
   scions_.erase(candidate);
+  candidate_failures_.erase(candidate);
+  candidate_not_before_.erase(candidate);
   metrics().detections_cycle_found.add();
   metrics().scions_deleted_cyclic.add();
 }
@@ -493,6 +546,26 @@ void Process::run_lgc() {
   metrics().stubs_deleted.add(res.stubs_deleted);
   if (!cfg_.dgc_enabled) return;
   for (ProcessId dst : contacts_) {
+    if (cfg_.adaptive_faults) {
+      // Toward a suspected peer, space the periodic NSS re-sends out
+      // exponentially instead of hammering every LGC period. NSS is an
+      // idempotent full-state replacement, so deferral only delays acyclic
+      // collection at the peer — it cannot lose state.
+      NssGate& gate = nss_gates_[dst];
+      if (peer_health_.suspected(dst, env_.now())) {
+        if (env_.now() < gate.next_ok) {
+          metrics().new_set_stubs_deferred.add();
+          continue;
+        }
+        const SimTime spacing = backoff_delay(cfg_.lgc_period_us, cfg_.backoff_cap_us,
+                                              static_cast<int>(gate.level), env_.rng());
+        gate.next_ok = env_.now() + spacing;
+        if (gate.level < 16) ++gate.level;
+      } else {
+        gate.level = 0;
+        gate.next_ok = 0;
+      }
+    }
     // The export sequence is epoch-stamped with the incarnation so the first
     // message after a restart (local counter back at 1) still sorts above
     // everything the lost incarnation sent.
@@ -576,14 +649,39 @@ void Process::on_peer_crashed(ProcessId crashed) {
   if (cfg_.dcda_enabled) detector_->abort_for_crash(crashed, env_.now());
 }
 
+void Process::note_detection_timeout(RefId candidate) {
+  if (!cfg_.adaptive_faults) return;
+  std::uint32_t& failures = candidate_failures_[candidate];
+  if (failures < 20) ++failures;
+  candidate_not_before_[candidate] =
+      env_.now() + backoff_delay(cfg_.dcda_scan_period_us, cfg_.detection_backoff_cap_us,
+                                 static_cast<int>(failures), env_.rng());
+}
+
 void Process::run_dcda_scan() {
   if (!cfg_.dcda_enabled) return;
-  detector_->expire(env_.now());
+  for (const auto& rec : detector_->expire(env_.now())) {
+    note_detection_timeout(rec.candidate);
+  }
   backtracer_->expire(env_.now(), cfg_.detection_timeout_us);
+  CandidateHealthView health;
+  health.peers = &peer_health_;
+  health.not_before = &candidate_not_before_;
   const std::vector<RefId> cands = select_candidates(
-      scions_, summary_.get(), detector_->manager(), cfg_, env_.now(), scan_seq_++);
+      scions_, summary_.get(), detector_->manager(), cfg_, env_.now(), scan_seq_++,
+      cfg_.adaptive_faults ? &health : nullptr,
+      cfg_.adaptive_faults ? &env_.metrics() : nullptr);
   for (RefId c : cands) {
     detector_->start_detection(c, env_.now());
+  }
+  // Drop backoff state for scions that no longer exist (collected or expired).
+  for (auto it = candidate_not_before_.begin(); it != candidate_not_before_.end();) {
+    if (!scions_.contains(it->first)) {
+      candidate_failures_.erase(it->first);
+      it = candidate_not_before_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

@@ -35,6 +35,7 @@
 #include "src/dgc/reference_listing.h"
 #include "src/dgc/scion_table.h"
 #include "src/dgc/stub_table.h"
+#include "src/net/peer_health.h"
 #include "src/net/transport.h"
 #include "src/rt/heap.h"
 #include "src/snapshot/serializer.h"
@@ -149,6 +150,8 @@ class Process {
   std::uint64_t snapshot_version() const { return snapshot_version_; }
   SimTime now() const { return env_.now(); }
   std::size_t pending_exports() const { return handshakes_.size(); }
+  PeerHealthTracker& peer_health() { return peer_health_; }
+  const PeerHealthTracker& peer_health() const { return peer_health_; }
 
  private:
   friend class BacktraceDetector;
@@ -172,6 +175,16 @@ class Process {
     ProcessId owner = kNoProcess;
     RefId pinned_stub = kNoRef;  // held stub pinned for the duration
     int retries = 0;
+    SimTime last_sent = 0;       // RTT sample baseline for the ack
+  };
+
+  /// Per-contact NewSetStubs pacing toward a suspected peer: while the peer
+  /// is suspected, periodic re-sends are spaced out exponentially instead of
+  /// every LGC period (NSS is an idempotent full-state replacement, so
+  /// deferral only delays acyclic collection).
+  struct NssGate {
+    std::uint32_t level = 0;
+    SimTime next_ok = 0;
   };
 
   RefId fresh_ref_id() { return make_ref_id(pid_, next_ref_counter_++); }
@@ -190,6 +203,12 @@ class Process {
   ExportedRef begin_third_party_export(RefId held, ProcessId receiver,
                                        std::uint64_t call_id, std::uint64_t* handshake_out);
   void retry_handshake(std::uint64_t id);
+  /// Delay until retry number `attempt` of a handshake: exponential with
+  /// deterministic jitter when adaptive, the fixed interval otherwise.
+  SimTime handshake_retry_delay(int attempt);
+  /// A detection for `candidate` timed out: exponentially back off its next
+  /// launch (lossy/partitioned links should not be hammered at scan rate).
+  void note_detection_timeout(RefId candidate);
   void abandon_invoke(std::uint64_t call_id);
   void maybe_flush_invoke(std::uint64_t call_id);
   void really_send_invoke(PendingInvoke&& inv);
@@ -221,6 +240,13 @@ class Process {
 
   std::map<std::uint64_t, PendingInvoke> pending_invokes_;
   std::map<std::uint64_t, Handshake> handshakes_;
+  PeerHealthTracker peer_health_{cfg_, env_.metrics()};
+  std::map<ProcessId, NssGate> nss_gates_;
+  /// call_id → (callee, send time); RTT samples for replies. Bounded; calls
+  /// whose reply never arrives age out by insertion order (ids ascend).
+  std::map<std::uint64_t, std::pair<ProcessId, SimTime>> inflight_calls_;
+  std::map<RefId, std::uint32_t> candidate_failures_;   // consecutive timeouts
+  std::map<RefId, SimTime> candidate_not_before_;       // re-launch backoff
   std::map<RefId, std::uint32_t> pinned_;  // stub pin counts
   std::set<RefId> pinned_set_;             // cached key set for the LGC
 

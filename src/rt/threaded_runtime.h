@@ -60,6 +60,10 @@ class ThreadedRuntime {
   /// Direct access; only safe after shutdown() (or from post closures).
   Process& unsafe_proc(ProcessId pid) { return *procs_.at(pid); }
 
+  /// Network fault-injection surface (thread-safe: loss, duplication,
+  /// link partitions can be flipped mid-run by a chaos driver).
+  ThreadedNetwork& network() { return *network_; }
+
   Metrics total_metrics();
 
  private:

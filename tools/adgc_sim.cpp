@@ -8,10 +8,18 @@
 //            [--steps=K] [--rounds=R] [--settle-ms=T]
 //            [--summarizer=bfs|scc] [--no-dcda] [--rmi-edges]
 //            [--crash-every=R] [--verbose]
+//   adgc_sim --chaos [--seed=S] [--loss=P] [--dup=P]
+//   adgc_sim --compare-backoff [--seed=S] [--loss=P]
 //
 // --crash-every=R crashes and restarts a rotating victim process every R
 // workload rounds (with persistent snapshots on, so restarts recover); the
 // shadow oracle is resynced to the rolled-back state after each restart.
+//
+// --chaos runs the composed chaos sweep (loss + duplication + reordering +
+// rotating partitions + crash rotation over planted Fig. 3/Fig. 4 cycles);
+// --compare-backoff runs the same scenario under sustained loss with the
+// adaptive-degradation layer on and off and reports the retry traffic of
+// both (the graceful-degradation acceptance numbers).
 //
 // Exit status: 0 if the run converged (no garbage left, no live object
 // lost), 1 otherwise — usable as a soak-test in CI loops.
@@ -22,6 +30,7 @@
 #include <string>
 
 #include "src/common/log.h"
+#include "src/sim/chaos_sweep.h"
 #include "src/sim/harness.h"
 #include "src/sim/workload.h"
 
@@ -41,6 +50,8 @@ struct Options {
   bool dcda = true;
   bool rmi_edges = false;
   int crash_every = 0;  // 0 = no fault injection
+  bool chaos = false;
+  bool compare_backoff = false;
   bool verbose = false;
 };
 
@@ -60,7 +71,10 @@ bool parse_flag(const char* arg, const char* name, std::string* value) {
   std::fprintf(stderr,
                "usage: %s [--procs=N] [--seed=S] [--loss=P] [--dup=P] [--steps=K]\n"
                "          [--rounds=R] [--settle-ms=T] [--summarizer=bfs|scc]\n"
-               "          [--no-dcda] [--rmi-edges] [--crash-every=R] [--verbose]\n",
+               "          [--no-dcda] [--rmi-edges] [--crash-every=R] [--verbose]\n"
+               "       %s --chaos [--seed=S] [--loss=P] [--dup=P]\n"
+               "       %s --compare-backoff [--seed=S] [--loss=P]\n",
+               argv0, argv0,
                argv0);
   std::exit(2);
 }
@@ -97,6 +111,10 @@ Options parse(int argc, char** argv) {
       opt.crash_every = std::atoi(v.c_str());
     } else if (parse_flag(argv[i], "--rmi-edges", &v)) {
       opt.rmi_edges = true;
+    } else if (parse_flag(argv[i], "--chaos", &v)) {
+      opt.chaos = true;
+    } else if (parse_flag(argv[i], "--compare-backoff", &v)) {
+      opt.compare_backoff = true;
     } else if (parse_flag(argv[i], "--verbose", &v)) {
       opt.verbose = true;
     } else {
@@ -116,6 +134,49 @@ Options parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   if (opt.verbose) Log::set_level(LogLevel::kInfo);
+
+  if (opt.chaos) {
+    sim::ChaosSweepParams cp;
+    cp.seed = opt.seed;
+    if (opt.loss > 0) cp.loss_probability = opt.loss;
+    if (opt.dup > 0) cp.duplicate_probability = opt.dup;
+    std::printf("chaos sweep: seed=%llu loss=%.2f dup=%.2f slices=%zu crashes=%s\n",
+                static_cast<unsigned long long>(cp.seed), cp.loss_probability,
+                cp.duplicate_probability, cp.slices, cp.with_crashes ? "on" : "off");
+    const sim::ChaosSweepResult res = sim::run_chaos_sweep(cp);
+    std::printf("  crashes=%zu recovered=%zu messages_lost=%llu\n", res.crashes,
+                res.recovered, static_cast<unsigned long long>(res.messages_lost));
+    std::printf("  suspects=%llu cdms_shed=%llu nss_shed=%llu deferred=%llu "
+                "abandoned_handshakes=%llu\n",
+                static_cast<unsigned long long>(res.suspect_transitions),
+                static_cast<unsigned long long>(res.cdms_shed),
+                static_cast<unsigned long long>(res.new_set_stubs_shed),
+                static_cast<unsigned long long>(res.detections_deferred),
+                static_cast<unsigned long long>(res.add_scion_abandoned));
+    if (!res.ok()) {
+      std::printf("CHAOS FAILED: %s\n", res.detail.c_str());
+      return 1;
+    }
+    std::printf("CHAOS OK: all planted cycles reclaimed, no live object lost.\n");
+    return 0;
+  }
+
+  if (opt.compare_backoff) {
+    const double loss = opt.loss > 0 ? opt.loss : 0.30;
+    std::printf("backoff comparison: seed=%llu loss=%.2f\n",
+                static_cast<unsigned long long>(opt.seed), loss);
+    const sim::BackoffComparison cmp = sim::run_backoff_comparison(opt.seed, loss);
+    std::printf("  adaptive: retry_messages=%llu total_messages=%llu\n",
+                static_cast<unsigned long long>(cmp.adaptive_retry_messages),
+                static_cast<unsigned long long>(cmp.adaptive_total_messages));
+    std::printf("  fixed:    retry_messages=%llu total_messages=%llu\n",
+                static_cast<unsigned long long>(cmp.fixed_retry_messages),
+                static_cast<unsigned long long>(cmp.fixed_total_messages));
+    std::printf(cmp.adaptive_reduced()
+                    ? "adaptive backoff reduced retry traffic.\n"
+                    : "adaptive backoff did NOT reduce retry traffic.\n");
+    return cmp.adaptive_reduced() ? 0 : 1;
+  }
 
   RuntimeConfig cfg = sim::fast_config(opt.seed);
   cfg.net.loss_probability = opt.loss;
@@ -169,9 +230,16 @@ int main(int argc, char** argv) {
 
   const sim::GlobalStats st = sim::global_stats(rt);
   const auto live = workload.shadow().live();
+  const Metrics totals = rt.total_metrics();
   std::printf("final: objects=%zu oracle-live=%zu garbage=%zu stubs=%zu scions=%zu\n",
               st.total_objects, live.size(), st.garbage_objects, st.stubs, st.scions);
-  std::printf("\nprotocol metrics:\n%s", rt.total_metrics().report("  ").c_str());
+  std::printf("degradation: abandoned_handshakes=%llu suspects=%llu cdms_shed=%llu "
+              "nss_shed=%llu\n",
+              static_cast<unsigned long long>(totals.add_scion_abandoned.get()),
+              static_cast<unsigned long long>(totals.peer_suspect_transitions.get()),
+              static_cast<unsigned long long>(totals.cdms_shed.get()),
+              static_cast<unsigned long long>(totals.new_set_stubs_shed.get()));
+  std::printf("\nprotocol metrics:\n%s", totals.report("  ").c_str());
 
   if (!crash_dir.empty()) std::filesystem::remove_all(crash_dir);
   if (!workload.converged()) {
