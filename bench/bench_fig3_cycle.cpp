@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
 
   using namespace adgc;
+  bench::JsonReport report("fig3_cycle");
   bench::header(
       "Fig. 3 generalized — simple distributed cycle, ring of N processes\n"
       "(paper walkthrough: 4 processes, 4 CDMs for the successful probe)");
@@ -80,6 +81,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.cdm_bytes),
                 static_cast<unsigned long long>(r.messages),
                 r.reclaim_us / 1000.0, r.collected ? "collected" : "TIMEOUT");
+    report.add("ring_width", {{"processes", static_cast<double>(n)},
+                              {"objs", static_cast<double>(n * 3)},
+                              {"cdms", static_cast<double>(r.cdms)},
+                              {"cdm_bytes", static_cast<double>(r.cdm_bytes)},
+                              {"messages", static_cast<double>(r.messages)},
+                              {"reclaim_ms", r.reclaim_us / 1000.0},
+                              {"collected", r.collected ? 1.0 : 0.0}});
   }
 
   bench::header("Fig. 3 — per-process segment size sweep (N = 4 fixed)");

@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
 
   using namespace adgc;
+  bench::JsonReport report("table1_rmi");
   bench::header(
       "Table 1 — RMI series cost: plain runtime vs DGC-extended\n"
       "(paper: Rotor vs Rotor w/ DGC; 10 refs exported per call;\n"
@@ -104,8 +105,12 @@ int main(int argc, char** argv) {
       base = std::min(base, run_series(calls, false));
       dgc = std::min(dgc, run_series(calls, true));
     }
-    std::printf("%-12d %14.2f %16.2f %11.2f%%\n", calls, base, dgc,
-                (dgc - base) / base * 100.0);
+    const double overhead = (dgc - base) / base * 100.0;
+    std::printf("%-12d %14.2f %16.2f %11.2f%%\n", calls, base, dgc, overhead);
+    report.add("rmi_series", {{"calls", static_cast<double>(calls)},
+                              {"plain_ms", base},
+                              {"dgc_ms", dgc},
+                              {"overhead_pct", overhead}});
   }
 
   bench::header(
@@ -120,8 +125,12 @@ int main(int argc, char** argv) {
       base = std::min(base, run_series(calls, false, 50));
       dgc = std::min(dgc, run_series(calls, true, 50));
     }
-    std::printf("%-12d %14.2f %16.2f %11.2f%%\n", calls, base, dgc,
-                (dgc - base) / base * 100.0);
+    const double overhead = (dgc - base) / base * 100.0;
+    std::printf("%-12d %14.2f %16.2f %11.2f%%\n", calls, base, dgc, overhead);
+    report.add("rmi_series_with_keepup", {{"calls", static_cast<double>(calls)},
+                                          {"plain_ms", base},
+                                          {"dgc_ms", dgc},
+                                          {"overhead_pct", overhead}});
   }
   return 0;
 }

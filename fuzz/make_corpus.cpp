@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/frame.h"
 #include "src/net/message.h"
 #include "src/snapshot/serializer.h"
 
@@ -113,6 +114,51 @@ int main(int argc, char** argv) {
   snap.scions.push_back({make_ref_id(2, 1), 3, 4, 5});
   write_file(dir, "snapshot_binary", BinarySerializer{}.serialize(snap));
   write_file(dir, "snapshot_naive", NaiveSerializer{}.serialize(snap));
+
+  // TCP frame seeds. fuzz_frame_decode interprets the FIRST byte as the
+  // feed-chunk selector, so every frame seed is prefixed with one byte
+  // (0x0c → 4096-byte chunks ≈ one-shot; 0x00 → byte-at-a-time).
+  const auto frame_seed = [](std::uint8_t chunk_sel, std::vector<std::byte> frame) {
+    std::vector<std::byte> seed;
+    seed.reserve(frame.size() + 1);
+    seed.push_back(std::byte{chunk_sel});
+    seed.insert(seed.end(), frame.begin(), frame.end());
+    return seed;
+  };
+  write_file(dir, "frame_hello", frame_seed(0x0c, encode_hello_frame(3, 2)));
+  {
+    Envelope env;
+    env.src = 1;
+    env.dst = 2;
+    env.src_inc = 1;
+    env.dst_inc = kUnknownIncarnation;
+    env.bytes = encode_message(cdm);
+    write_file(dir, "frame_data_cdm", frame_seed(0x0c, encode_data_frame(env)));
+    env.bytes = encode_message(inv);
+    write_file(dir, "frame_data_invoke", frame_seed(0x00, encode_data_frame(env)));
+  }
+  {
+    // Two back-to-back frames in one stream, fed in 16-byte chunks.
+    auto stream = encode_hello_frame(5, 0);
+    Envelope env;
+    env.src = 5;
+    env.dst = 0;
+    env.bytes = encode_message(rep);
+    const auto second = encode_data_frame(env);
+    stream.insert(stream.end(), second.begin(), second.end());
+    write_file(dir, "frame_stream_pair", frame_seed(0x04, std::move(stream)));
+  }
+  {
+    // A corrupted frame (flipped payload bit → CRC mismatch): seeds the
+    // rejection path.
+    Envelope env;
+    env.src = 7;
+    env.dst = 8;
+    env.bytes = encode_message(nss);
+    auto bad = encode_data_frame(env);
+    bad.back() ^= std::byte{0x01};
+    write_file(dir, "frame_bad_crc", frame_seed(0x0c, std::move(bad)));
+  }
 
   std::printf("corpus written to %s\n", dir.string().c_str());
   return 0;

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used by the TCP frame layer and
+// anywhere else a cheap integrity check over a byte range is needed.
+//
+// Self-contained table-driven implementation: the toolchain image carries no
+// zlib guarantee, and the frame format must not depend on an optional
+// library. The result matches zlib's crc32() so externally captured frames
+// can be checked with standard tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace adgc {
+
+/// One-shot CRC-32 of `bytes` (initial value 0, standard pre/post-invert).
+std::uint32_t crc32(std::span<const std::byte> bytes);
+
+/// Incremental form: fold `bytes` into a running checksum. Start with
+/// `crc = 0`, feed chunks in order, use the final value.
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> bytes);
+
+}  // namespace adgc

@@ -70,6 +70,15 @@ const std::vector<Field>& fields() {
       {"new_set_stubs_deferred", &Metrics::new_set_stubs_deferred},
       {"detections_deferred_backoff", &Metrics::detections_deferred_backoff},
       {"candidates_deprioritized", &Metrics::candidates_deprioritized},
+      {"tcp_connects", &Metrics::tcp_connects},
+      {"tcp_accepts", &Metrics::tcp_accepts},
+      {"tcp_disconnects", &Metrics::tcp_disconnects},
+      {"tcp_reconnect_backoffs", &Metrics::tcp_reconnect_backoffs},
+      {"tcp_frames_sent", &Metrics::tcp_frames_sent},
+      {"tcp_frames_received", &Metrics::tcp_frames_received},
+      {"tcp_frames_rejected", &Metrics::tcp_frames_rejected},
+      {"tcp_hello_sent", &Metrics::tcp_hello_sent},
+      {"tcp_hello_received", &Metrics::tcp_hello_received},
       {"process_crashes", &Metrics::process_crashes},
       {"process_restarts", &Metrics::process_restarts},
       {"restarts_recovered", &Metrics::restarts_recovered},

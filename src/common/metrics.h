@@ -102,6 +102,17 @@ struct Metrics {
   Counter detections_deferred_backoff;  // candidate skipped (relaunch backoff)
   Counter candidates_deprioritized;     // candidate ranked last (suspected first hop)
 
+  // TCP transport (real-socket deployment).
+  Counter tcp_connects;          // outbound connect() attempts
+  Counter tcp_accepts;           // inbound connections accepted
+  Counter tcp_disconnects;       // connections closed on error/EOF
+  Counter tcp_reconnect_backoffs;  // reconnects deferred by the backoff series
+  Counter tcp_frames_sent;
+  Counter tcp_frames_received;
+  Counter tcp_frames_rejected;   // framing errors (magic/version/CRC/length)
+  Counter tcp_hello_sent;
+  Counter tcp_hello_received;
+
   // Crash/restart fault model.
   Counter process_crashes;
   Counter process_restarts;

@@ -1,0 +1,141 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+
+namespace adgc {
+
+namespace {
+
+std::uint32_t load_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint16_t load_u16(const std::byte* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(const Frame& frame) {
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u16(kFrameVersion);
+  w.u16(static_cast<std::uint16_t>(frame.kind));
+  w.u32(frame.src);
+  w.u32(frame.dst);
+  w.u32(frame.src_inc);
+  w.u32(frame.dst_inc);
+  w.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  w.u32(crc32(frame.payload));
+  w.raw(frame.payload.data(), frame.payload.size());
+  return w.take();
+}
+
+std::vector<std::byte> encode_data_frame(const Envelope& env) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.src = env.src;
+  f.dst = env.dst;
+  f.src_inc = env.src_inc;
+  f.dst_inc = env.dst_inc;
+  f.payload = env.bytes;
+  return encode_frame(f);
+}
+
+std::vector<std::byte> encode_hello_frame(ProcessId self, Incarnation inc) {
+  Frame f;
+  f.kind = FrameKind::kHello;
+  f.src = self;
+  f.dst = kNoProcess;
+  f.src_inc = inc;
+  f.dst_inc = kUnknownIncarnation;
+  return encode_frame(f);
+}
+
+void FrameDecoder::feed(std::span<const std::byte> bytes) {
+  if (failed() || bytes.empty()) return;
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameDecoder::compact() {
+  // Drop consumed prefix once it dominates the buffer; amortized O(1).
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (failed()) return std::nullopt;
+  if (buf_.size() - consumed_ < kFrameHeaderSize) return std::nullopt;
+  const std::byte* h = buf_.data() + consumed_;
+
+  if (load_u32(h + 0) != kFrameMagic) {
+    error_ = Error::kBadMagic;
+    return std::nullopt;
+  }
+  if (load_u16(h + 4) != kFrameVersion) {
+    error_ = Error::kBadVersion;
+    return std::nullopt;
+  }
+  const std::uint16_t kind = load_u16(h + 6);
+  if (kind != static_cast<std::uint16_t>(FrameKind::kHello) &&
+      kind != static_cast<std::uint16_t>(FrameKind::kData)) {
+    error_ = Error::kBadKind;
+    return std::nullopt;
+  }
+  const std::uint32_t len = load_u32(h + 24);
+  if (len > kMaxFramePayload) {
+    error_ = Error::kOversized;
+    return std::nullopt;
+  }
+  if (buf_.size() - consumed_ < kFrameHeaderSize + len) return std::nullopt;
+
+  Frame f;
+  f.kind = static_cast<FrameKind>(kind);
+  f.src = load_u32(h + 8);
+  f.dst = load_u32(h + 12);
+  f.src_inc = load_u32(h + 16);
+  f.dst_inc = load_u32(h + 20);
+  f.payload.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + len);
+  if (crc32(f.payload) != load_u32(h + 28)) {
+    error_ = Error::kBadCrc;
+    return std::nullopt;
+  }
+  consumed_ += kFrameHeaderSize + len;
+  compact();
+  return f;
+}
+
+std::string FrameDecoder::error_detail() const {
+  switch (error_) {
+    case Error::kNone: return "";
+    case Error::kBadMagic: return "bad frame magic";
+    case Error::kBadVersion: return "unsupported frame version";
+    case Error::kBadKind: return "unknown frame kind";
+    case Error::kOversized: return "frame payload length over limit";
+    case Error::kBadCrc: return "frame payload CRC mismatch";
+  }
+  return "unknown frame error";
+}
+
+std::uint8_t peek_message_tag(std::span<const std::byte> payload) {
+  return payload.empty() ? 0 : static_cast<std::uint8_t>(payload[0]);
+}
+
+bool is_cdm_payload(std::span<const std::byte> payload) {
+  return peek_message_tag(payload) == static_cast<std::uint8_t>(MessageTag::kCdm);
+}
+
+bool is_new_set_stubs_payload(std::span<const std::byte> payload) {
+  return peek_message_tag(payload) == static_cast<std::uint8_t>(MessageTag::kNewSetStubs);
+}
+
+}  // namespace adgc

@@ -4,21 +4,9 @@ namespace adgc {
 
 namespace {
 
-enum class Tag : std::uint8_t {
-  kInvoke = 1,
-  kReply = 2,
-  kNewSetStubs = 3,
-  kAddScion = 4,
-  kAddScionAck = 5,
-  kCdm = 6,
-  kBacktraceRequest = 7,
-  kBacktraceReply = 8,
-  kGtStart = 9,
-  kGtMark = 10,
-  kGtPoll = 11,
-  kGtStatus = 12,
-  kGtFinish = 13,
-};
+// The canonical tag values live in message.h (MessageTag) so the transport
+// can peek them; this alias keeps the codec bodies unchanged.
+using Tag = MessageTag;
 
 void put_refs(ByteWriter& w, const std::vector<RefId>& v) {
   w.u32(static_cast<std::uint32_t>(v.size()));

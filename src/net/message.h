@@ -184,6 +184,25 @@ using MessagePayload =
                  CdmMsg, BacktraceRequestMsg, BacktraceReplyMsg, GtStartMsg, GtMarkMsg,
                  GtPollMsg, GtStatusMsg, GtFinishMsg>;
 
+/// On-wire type tag: the first byte of encode_message() output. Exposed so
+/// transport-level code (the TCP write queue's priority shedding) can
+/// classify an already-encoded message without paying a full decode.
+enum class MessageTag : std::uint8_t {
+  kInvoke = 1,
+  kReply = 2,
+  kNewSetStubs = 3,
+  kAddScion = 4,
+  kAddScionAck = 5,
+  kCdm = 6,
+  kBacktraceRequest = 7,
+  kBacktraceReply = 8,
+  kGtStart = 9,
+  kGtMark = 10,
+  kGtPoll = 11,
+  kGtStatus = 12,
+  kGtFinish = 13,
+};
+
 /// A message in flight.
 ///
 /// Incarnation stamps implement the crash/restart fault model: `src_inc` is

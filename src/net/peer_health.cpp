@@ -14,8 +14,9 @@ SimTime backoff_delay(SimTime base_us, SimTime cap_us, int attempt, Rng& rng) {
   return half + rng.below(std::max<SimTime>(d - half, 1));
 }
 
-void PeerHealthTracker::on_send(ProcessId peer) {
+void PeerHealthTracker::on_send(ProcessId peer, SimTime now) {
   Peer& p = slot(peer);
+  if (p.outstanding == 0) p.window_start = now;
   if (p.outstanding < ~std::uint32_t{0}) ++p.outstanding;
 }
 
@@ -24,6 +25,7 @@ void PeerHealthTracker::on_heard(ProcessId peer, SimTime now) {
   p.last_heard = now;
   p.consecutive_failures = 0;
   p.outstanding = 0;
+  p.window_start = 0;
 }
 
 void PeerHealthTracker::on_response(ProcessId peer, SimTime rtt_us, SimTime now) {
@@ -38,6 +40,7 @@ void PeerHealthTracker::on_response(ProcessId peer, SimTime rtt_us, SimTime now)
   p.last_heard = now;
   p.consecutive_failures = 0;
   p.outstanding = 0;
+  p.window_start = 0;
 }
 
 void PeerHealthTracker::on_timeout(ProcessId peer, SimTime /*now*/) {
@@ -47,12 +50,20 @@ void PeerHealthTracker::on_timeout(ProcessId peer, SimTime /*now*/) {
 
 bool PeerHealthTracker::compute_suspected(const Peer& p, SimTime now) const {
   if (p.consecutive_failures >= cfg_.suspect_after_failures) return true;
-  // Accrual half: only while we are actively trying to reach the peer.
+  // Accrual half: only while we are actively trying to reach the peer, and
+  // only once the peer has been heard from at least once — phi over an RTT
+  // we never observed is noise, and treating every cold peer as suspect
+  // measurably delays collection (the failure-count half above covers peers
+  // that are down from the start, via explicit retry timeouts). Silence is
+  // measured from when the current unanswered window opened (the first send
+  // after the peer was last heard), never across idle gaps.
   if (p.outstanding == 0) return false;
-  if (p.last_heard == 0) return false;  // never heard: no baseline to accrue on
+  if (p.last_heard == 0) return false;
+  const SimTime baseline = std::max(p.last_heard, p.window_start);
+  if (baseline == 0 || now <= baseline) return false;
   const double floor_us = static_cast<double>(std::max<SimTime>(cfg_.suspect_rtt_floor_us, 1));
   const double srtt = std::max(p.srtt_us, floor_us);
-  const double silence = static_cast<double>(now - p.last_heard);
+  const double silence = static_cast<double>(now - baseline);
   return silence > cfg_.suspect_phi * srtt;
 }
 
@@ -67,9 +78,11 @@ bool PeerHealthTracker::suspected(ProcessId peer, SimTime now) {
 double PeerHealthTracker::phi(ProcessId peer, SimTime now) const {
   const Peer* p = find(peer);
   if (!p || p->outstanding == 0 || p->last_heard == 0) return 0.0;
+  const SimTime baseline = std::max(p->last_heard, p->window_start);
+  if (baseline == 0 || now <= baseline) return 0.0;
   const double floor_us = static_cast<double>(std::max<SimTime>(cfg_.suspect_rtt_floor_us, 1));
   const double srtt = std::max(p->srtt_us, floor_us);
-  return static_cast<double>(now - p->last_heard) / srtt;
+  return static_cast<double>(now - baseline) / srtt;
 }
 
 double PeerHealthTracker::srtt_us(ProcessId peer) const {

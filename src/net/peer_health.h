@@ -48,6 +48,13 @@ class PeerHealthTracker {
     std::uint32_t consecutive_failures = 0;
     /// Last time anything arrived from the peer (0 = never).
     SimTime last_heard = 0;
+    /// When the current unanswered-send window opened: the timestamp of the
+    /// first on_send() after the peer was last heard from (0 = no window).
+    /// The accrual baseline is max(last_heard, window_start) — NOT plain
+    /// last_heard — so that under wall clocks (where `now` never restarts at
+    /// 0) a long-idle peer is not declared silent the instant we resume
+    /// sending to it.
+    SimTime window_start = 0;
     /// Messages sent to the peer since it was last heard from — the
     /// sender-side outgoing-window estimate the shedding bound applies to.
     std::uint32_t outstanding = 0;
@@ -58,8 +65,9 @@ class PeerHealthTracker {
   PeerHealthTracker(const ProcessConfig& cfg, Metrics& metrics)
       : cfg_(cfg), metrics_(metrics) {}
 
-  /// A message was handed to the transport for `peer`.
-  void on_send(ProcessId peer);
+  /// A message was handed to the transport for `peer` at time `now` (take
+  /// it from Env::now(); it anchors the suspicion accrual window).
+  void on_send(ProcessId peer, SimTime now);
 
   /// Anything arrived from `peer` (liveness signal: resets the failure count
   /// and the outgoing window).

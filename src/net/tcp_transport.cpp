@@ -1,0 +1,447 @@
+#include "src/net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/log.h"
+#include "src/net/peer_health.h"
+
+namespace adgc {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+PeerAddr parse_peer_addr(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    throw std::invalid_argument("peer address must be host:port, got '" + s + "'");
+  }
+  PeerAddr a;
+  a.host = s.substr(0, colon);
+  const long port = std::strtol(s.c_str() + colon + 1, nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    throw std::invalid_argument("peer address has bad port: '" + s + "'");
+  }
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
+TcpTransport::TcpTransport(Options opts, Metrics& metrics)
+    : opts_(std::move(opts)), metrics_(metrics), rng_(opts_.seed ^ 0x7c73u) {}
+
+TcpTransport::~TcpTransport() { stop(0); }
+
+SimTime TcpTransport::steady_now() const {
+  return static_cast<SimTime>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                  std::chrono::steady_clock::now().time_since_epoch())
+                                  .count());
+}
+
+void TcpTransport::start() {
+  if (running_.load()) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.listen_port);
+  if (::inet_pton(AF_INET, opts_.listen_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bad listen host '" + opts_.listen_host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen on " + opts_.listen_host + ":" +
+                             std::to_string(opts_.listen_port) + " failed: " + err);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("pipe() failed");
+  }
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+
+  stopping_.store(false);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void TcpTransport::stop(SimTime drain_us) {
+  if (!running_.load()) return;
+  drain_us_.store(drain_us);
+  stopping_.store(true);
+  wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  running_.store(false, std::memory_order_release);
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  conns_.clear();
+  peer_state_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void TcpTransport::wake() {
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
+void TcpTransport::send(Envelope env) {
+  if (env.dst == opts_.self || !opts_.peers.count(env.dst)) {
+    metrics_.messages_lost.add();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    send_inbox_.push_back(std::move(env));
+  }
+  wake();
+}
+
+Incarnation TcpTransport::last_known_incarnation(ProcessId peer) const {
+  std::lock_guard<std::mutex> lk(inc_mu_);
+  auto it = peer_incarnation_.find(peer);
+  return it == peer_incarnation_.end() ? kUnknownIncarnation : it->second;
+}
+
+// ------------------------------------------------------------ IO thread side
+
+void TcpTransport::enqueue_frame(PeerState& ps, std::vector<std::byte> frame,
+                                 std::uint8_t msg_tag) {
+  // Priority shedding on the pending queue (no live connection, or the
+  // connection's own buffer already absorbed the limit). CDMs go first,
+  // NewSetStubs at twice the bound; everything else is never shed here.
+  const std::size_t queued =
+      ps.pending.size() + (ps.conn ? ps.conn->writeq.size() : 0);
+  const bool cdm = msg_tag == static_cast<std::uint8_t>(MessageTag::kCdm);
+  const bool nss = msg_tag == static_cast<std::uint8_t>(MessageTag::kNewSetStubs);
+  if (opts_.peer_queue_limit > 0 && queued >= opts_.peer_queue_limit) {
+    if (cdm) {
+      metrics_.cdms_shed.add();
+      return;
+    }
+    if (nss && queued >= 2 * opts_.peer_queue_limit) {
+      metrics_.new_set_stubs_shed.add();
+      return;
+    }
+  }
+  if (ps.conn && !ps.conn->connecting) {
+    ps.conn->writeq.push_back(std::move(frame));
+  } else {
+    ps.pending.push_back(std::move(frame));
+  }
+}
+
+void TcpTransport::drain_sends() {
+  std::vector<Envelope> batch;
+  {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    batch.swap(send_inbox_);
+  }
+  const SimTime now = steady_now();
+  for (Envelope& env : batch) {
+    PeerState& ps = peer_state_[env.dst];
+    const std::uint8_t tag = peek_message_tag(env.bytes);
+    metrics_.messages_sent.add();
+    metrics_.bytes_sent.add(env.bytes.size() + kFrameHeaderSize);
+    enqueue_frame(ps, encode_data_frame(env), tag);
+    if (!ps.conn && now >= ps.next_connect_us) start_connect(env.dst, now);
+  }
+}
+
+void TcpTransport::start_connect(ProcessId peer, SimTime now) {
+  auto it = opts_.peers.find(peer);
+  if (it == opts_.peers.end()) return;
+  PeerState& ps = peer_state_[peer];
+  if (ps.conn) return;
+
+  metrics_.tcp_connects.add();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(it->second.port);
+  if (::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->peer = peer;
+  conn->outbound = true;
+  conn->connecting = (rc != 0 && errno == EINPROGRESS);
+  if (rc != 0 && !conn->connecting) {
+    // Immediate failure (e.g. ECONNREFUSED on loopback): back off.
+    ::close(fd);
+    ++ps.attempts;
+    ps.next_connect_us = now + backoff_delay(opts_.reconnect_base_us,
+                                             opts_.reconnect_cap_us, ps.attempts, rng_);
+    metrics_.tcp_reconnect_backoffs.add();
+    return;
+  }
+  ps.conn = conn.get();
+  conns_.push_back(std::move(conn));
+  if (!ps.conn->connecting) on_connect_ready(ps.conn);
+}
+
+void TcpTransport::flush_pending_into_conn(ProcessId peer) {
+  PeerState& ps = peer_state_[peer];
+  if (!ps.conn) return;
+  while (!ps.pending.empty()) {
+    ps.conn->writeq.push_back(std::move(ps.pending.front()));
+    ps.pending.pop_front();
+  }
+}
+
+void TcpTransport::on_connect_ready(Conn* conn) {
+  conn->connecting = false;
+  PeerState& ps = peer_state_[conn->peer];
+  ps.attempts = 0;
+  // Hello goes out first on every new connection, then the queued traffic.
+  conn->writeq.push_front(encode_hello_frame(opts_.self, opts_.incarnation));
+  metrics_.tcp_hello_sent.add();
+  flush_pending_into_conn(conn->peer);
+}
+
+void TcpTransport::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    metrics_.tcp_accepts.add();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->outbound = false;
+    // Greet inbound connections too: this is how the dialing side learns OUR
+    // incarnation (it may have dialed a dead one).
+    conn->writeq.push_back(encode_hello_frame(opts_.self, opts_.incarnation));
+    metrics_.tcp_hello_sent.add();
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void TcpTransport::close_conn(Conn* conn, const char* why) {
+  if (conn->fd < 0) return;
+  ADGC_TRACE("tcp P" << opts_.self << ": closing conn to P" << conn->peer << " ("
+                     << why << ")");
+  metrics_.tcp_disconnects.add();
+  ::close(conn->fd);
+  conn->fd = -1;
+  if (conn->outbound && conn->peer != kNoProcess) {
+    PeerState& ps = peer_state_[conn->peer];
+    if (ps.conn == conn) {
+      // Unsent frames stay queued for the next connection.
+      for (auto it = conn->writeq.begin(); it != conn->writeq.end(); ++it) {
+        ps.pending.push_back(std::move(*it));
+      }
+      conn->writeq.clear();
+      ps.conn = nullptr;
+      ++ps.attempts;
+      ps.next_connect_us =
+          steady_now() + backoff_delay(opts_.reconnect_base_us, opts_.reconnect_cap_us,
+                                       ps.attempts, rng_);
+      metrics_.tcp_reconnect_backoffs.add();
+    }
+  }
+}
+
+void TcpTransport::on_readable(Conn* conn) {
+  std::byte buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->decoder.feed(std::span<const std::byte>(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or hard error: process what we have, then drop the connection.
+    close_conn(conn, n == 0 ? "peer closed" : "recv error");
+    break;
+  }
+
+  while (auto frame = conn->decoder.next()) {
+    if (frame->kind == FrameKind::kHello) {
+      metrics_.tcp_hello_received.add();
+      conn->peer = frame->src;
+      Incarnation prev = kUnknownIncarnation;
+      {
+        std::lock_guard<std::mutex> lk(inc_mu_);
+        auto [it, fresh] = peer_incarnation_.emplace(frame->src, frame->src_inc);
+        if (!fresh) {
+          prev = it->second;
+          if (frame->src_inc > it->second) it->second = frame->src_inc;
+        }
+      }
+      if (prev != kUnknownIncarnation && frame->src_inc > prev && peer_restart_) {
+        peer_restart_(frame->src, frame->src_inc);
+      }
+      continue;
+    }
+    metrics_.tcp_frames_received.add();
+    if (deliver_) {
+      Envelope env;
+      env.src = frame->src;
+      env.dst = frame->dst;
+      env.src_inc = frame->src_inc;
+      env.dst_inc = frame->dst_inc;
+      env.bytes = std::move(frame->payload);
+      deliver_(std::move(env));
+    }
+  }
+  if (conn->decoder.failed() && conn->fd >= 0) {
+    // Framing desynchronization: the stream is unusable. Reject gracefully —
+    // count it, drop the connection, let reconnect start clean.
+    metrics_.tcp_frames_rejected.add();
+    ADGC_WARN("tcp P" << opts_.self << ": " << conn->decoder.error_detail()
+                      << " from P" << conn->peer << "; dropping connection");
+    close_conn(conn, "frame error");
+  }
+}
+
+void TcpTransport::on_writable(Conn* conn) {
+  if (conn->connecting) {
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(conn->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close_conn(conn, "connect failed");
+      return;
+    }
+    on_connect_ready(conn);
+  }
+  while (!conn->writeq.empty()) {
+    const std::vector<std::byte>& front = conn->writeq.front();
+    const ssize_t n = ::send(conn->fd, front.data() + conn->write_off,
+                             front.size() - conn->write_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(conn, "send error");
+      return;
+    }
+    conn->write_off += static_cast<std::size_t>(n);
+    if (conn->write_off == front.size()) {
+      conn->writeq.pop_front();
+      conn->write_off = 0;
+      metrics_.tcp_frames_sent.add();
+    }
+  }
+}
+
+void TcpTransport::io_loop() {
+  std::vector<pollfd> fds;
+  std::vector<Conn*> fd_conns;
+  SimTime drain_deadline = 0;
+
+  for (;;) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    const SimTime now = steady_now();
+    if (stopping && drain_deadline == 0) {
+      drain_sends();  // pick up anything queued before stop()
+      drain_deadline = now + drain_us_.load();
+    }
+    if (stopping) {
+      // Drained everything (or ran out of time) → leave.
+      bool writes_left = false;
+      for (auto& c : conns_) {
+        if (c->fd >= 0 && !c->writeq.empty()) writes_left = true;
+      }
+      if (!writes_left || now >= drain_deadline) return;
+    }
+
+    // Kick reconnects whose backoff expired and that still have traffic.
+    SimTime next_deadline = stopping ? drain_deadline : now + 50'000;
+    if (!stopping) {
+      for (auto& [pid, ps] : peer_state_) {
+        if (!ps.conn && !ps.pending.empty()) {
+          if (now >= ps.next_connect_us) {
+            start_connect(pid, now);
+          } else {
+            next_deadline = std::min(next_deadline, ps.next_connect_us);
+          }
+        }
+      }
+    }
+
+    fds.clear();
+    fd_conns.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (!stopping) fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& c : conns_) {
+      if (c->fd < 0) continue;
+      short ev = POLLIN;
+      if (c->connecting || !c->writeq.empty()) ev |= POLLOUT;
+      fds.push_back({c->fd, ev, 0});
+      fd_conns.push_back(c.get());
+    }
+
+    const SimTime wait_us = next_deadline > now ? next_deadline - now : 0;
+    const int timeout_ms = static_cast<int>(std::min<SimTime>(wait_us / 1000 + 1, 1000));
+    const int nready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (nready < 0 && errno != EINTR) return;
+
+    std::size_t base = stopping ? 1 : 2;
+    if (fds[0].revents & POLLIN) {
+      char scratch[256];
+      while (::read(wake_fds_[0], scratch, sizeof scratch) > 0) {
+      }
+    }
+    if (!stopping && (fds[1].revents & POLLIN)) accept_ready();
+    for (std::size_t i = base; i < fds.size(); ++i) {
+      Conn* conn = fd_conns[i - base];
+      if (conn->fd < 0) continue;
+      if (fds[i].revents & (POLLOUT)) on_writable(conn);
+      if (conn->fd >= 0 && (fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
+        on_readable(conn);
+      }
+    }
+    if (!stopping) drain_sends();
+
+    // Reap closed connections.
+    std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) { return c->fd < 0; });
+  }
+}
+
+}  // namespace adgc

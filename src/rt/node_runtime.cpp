@@ -1,0 +1,233 @@
+#include "src/rt/node_runtime.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <queue>
+#include <stdexcept>
+
+#include "src/common/log.h"
+
+namespace adgc {
+
+namespace {
+SimTime steady_us() {
+  return static_cast<SimTime>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                  std::chrono::steady_clock::now().time_since_epoch())
+                                  .count());
+}
+}  // namespace
+
+/// Env bound to the node's loop thread. Timers in a min-heap drained by the
+/// loop; schedule() is only ever called from that thread (the Process is an
+/// actor), so no locking.
+class NodeRuntime::NodeEnv final : public Env {
+ public:
+  NodeEnv(NodeRuntime& rt, std::uint64_t seed) : rt_(rt), rng_(seed) {}
+
+  SimTime now() const override { return steady_us(); }
+
+  void send(ProcessId dst, const MessagePayload& msg) override {
+    Envelope env;
+    env.src = rt_.opts_.pid;
+    env.dst = dst;
+    env.src_inc = rt_.incarnation_;
+    env.dst_inc = rt_.transport_->last_known_incarnation(dst);
+    env.bytes = encode_message(msg);
+    rt_.transport_->send(std::move(env));
+  }
+
+  void schedule(SimTime delay, std::function<void()> fn) override {
+    timers_.push(Timer{now() + delay, next_timer_seq_++, std::move(fn)});
+  }
+
+  Rng& rng() override { return rng_; }
+  Metrics& metrics() override { return metrics_; }
+
+  /// Fires every due timer; returns microseconds until the next one (or a
+  /// default poll interval when none are queued).
+  SimTime pump_timers() {
+    const SimTime now_us = now();
+    while (!timers_.empty() && timers_.top().deadline <= now_us) {
+      auto fn = timers_.top().fn;  // copy before pop: fn may schedule more
+      timers_.pop();
+      fn();
+    }
+    if (timers_.empty()) return 10'000;
+    const SimTime next = timers_.top().deadline;
+    const SimTime cur = now();
+    return next > cur ? next - cur : 0;
+  }
+
+ private:
+  struct Timer {
+    SimTime deadline;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator<(const Timer& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return seq > other.seq;
+    }
+  };
+
+  NodeRuntime& rt_;
+  Rng rng_;
+  Metrics metrics_;
+  std::priority_queue<Timer> timers_;
+  std::uint64_t next_timer_seq_ = 0;
+};
+
+NodeRuntime::NodeRuntime(Options opts) : opts_(std::move(opts)) {}
+
+NodeRuntime::~NodeRuntime() { stop(0); }
+
+Incarnation NodeRuntime::load_and_bump_incarnation() {
+  if (opts_.state_dir.empty()) return 0;
+  namespace fs = std::filesystem;
+  const fs::path dir = opts_.state_dir;
+  fs::create_directories(dir);
+  const fs::path file = dir / ("incarnation_P" + std::to_string(opts_.pid));
+  Incarnation inc = 0;
+  if (std::ifstream in(file); in) {
+    std::uint64_t stored = 0;
+    if (in >> stored) inc = static_cast<Incarnation>(stored) + 1;
+  }
+  // Persist before touching the network: if we crash mid-start, the next
+  // start bumps past this value, never below it.
+  const fs::path tmp = file.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << inc << "\n";
+  }
+  fs::rename(tmp, file);
+  return inc;
+}
+
+void NodeRuntime::start() {
+  if (running_.load()) return;
+  incarnation_ = load_and_bump_incarnation();
+
+  RuntimeConfig cfg = opts_.cfg;
+  if (cfg.proc.snapshot_dir.empty() && !opts_.state_dir.empty()) {
+    cfg.proc.snapshot_dir =
+        (std::filesystem::path(opts_.state_dir) / "snapshots").string();
+  }
+  opts_.cfg = cfg;
+
+  const PeerAddr listen = parse_peer_addr(opts_.listen);
+  TcpTransport::Options topts;
+  topts.self = opts_.pid;
+  topts.incarnation = incarnation_;
+  topts.listen_host = listen.host;
+  topts.listen_port = listen.port;
+  topts.peers = opts_.peers;
+  topts.peer_queue_limit = opts_.peer_queue_limit;
+  topts.seed = cfg.seed ^ (std::uint64_t{opts_.pid} << 32) ^ incarnation_;
+  transport_ = std::make_unique<TcpTransport>(topts, net_metrics_);
+  transport_->set_deliver([this](Envelope&& env) { enqueue(std::move(env)); });
+  transport_->set_peer_restart([this](ProcessId peer, Incarnation inc) {
+    ADGC_INFO("node P" << opts_.pid << ": peer P" << peer
+                       << " restarted under incarnation " << inc);
+    enqueue(std::function<void()>([this, peer] { proc_->on_peer_crashed(peer); }));
+  });
+
+  env_ = std::make_unique<NodeEnv>(
+      *this, cfg.seed ^ (std::uint64_t{opts_.pid} * 0x9e3779b97f4a7c15ULL));
+  proc_ = std::make_unique<Process>(opts_.pid, opts_.cfg.proc, *env_, incarnation_);
+  if (incarnation_ > 0) {
+    recovered_ = proc_->recover_from_store();
+    env_->metrics().process_restarts.add();
+    if (recovered_) env_->metrics().restarts_recovered.add();
+  }
+
+  transport_->start();  // throws on bind failure, before any thread exists
+  loop_stop_.store(false);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { loop(); });
+  post([](Process& p) { p.start(); });
+}
+
+void NodeRuntime::stop(SimTime drain_us) {
+  if (!running_.exchange(false)) return;
+  loop_stop_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  if (transport_) transport_->stop(drain_us);
+}
+
+void NodeRuntime::enqueue(WorkItem item) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+void NodeRuntime::post(std::function<void(Process&)> fn) {
+  enqueue(std::function<void()>([this, fn = std::move(fn)] {
+    if (proc_) fn(*proc_);
+  }));
+}
+
+void NodeRuntime::post_sync(std::function<void(Process&)> fn) {
+  if (!running_.load(std::memory_order_acquire)) {
+    // Loop thread is gone (before start() or after stop()): nothing else
+    // can touch the Process, so run inline instead of deadlocking on a
+    // closure nobody will drain.
+    if (proc_) fn(*proc_);
+    return;
+  }
+  std::promise<void> done;
+  auto fut = done.get_future();
+  enqueue(std::function<void()>([this, &fn, &done] {
+    if (proc_) fn(*proc_);
+    done.set_value();
+  }));
+  fut.wait();
+}
+
+void NodeRuntime::loop() {
+  while (!loop_stop_.load(std::memory_order_acquire)) {
+    const SimTime wait = std::min<SimTime>(env_->pump_timers(), 10'000);
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (queue_.empty()) {
+        cv_.wait_for(lk, std::chrono::microseconds(wait), [this] {
+          return !queue_.empty() || loop_stop_.load(std::memory_order_acquire);
+        });
+      }
+      if (queue_.empty()) continue;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (auto* env = std::get_if<Envelope>(&item)) {
+      // Staleness filtering, as in the in-memory runtimes but against the
+      // hello-learned view: a message from a dead incarnation of the sender
+      // reflects rolled-back state; one addressed to a dead incarnation of
+      // us may reference identifiers this incarnation never knew.
+      const Incarnation known = transport_->last_known_incarnation(env->src);
+      const bool stale_src = known != kUnknownIncarnation && env->src_inc < known;
+      const bool stale_dst =
+          env->dst_inc != kUnknownIncarnation && env->dst_inc != incarnation_;
+      if (stale_src || stale_dst) {
+        env_->metrics().messages_stale_incarnation.add();
+        continue;
+      }
+      env_->metrics().messages_delivered.add();
+      proc_->deliver(*env);
+    } else {
+      std::get<std::function<void()>>(item)();
+    }
+  }
+}
+
+Metrics NodeRuntime::total_metrics() {
+  Metrics total;
+  total.merge(net_metrics_);
+  if (env_) total.merge(env_->metrics());
+  return total;
+}
+
+}  // namespace adgc

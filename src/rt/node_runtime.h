@@ -1,0 +1,114 @@
+// Standalone-node runtime: one ADGC Process per OS process, over real TCP.
+//
+// The third Env implementation (after the deterministic simulator and the
+// in-memory threaded runtime). It hosts exactly ONE Process and bridges the
+// TcpTransport's socket event loop onto the actor's single logical thread:
+// the IO thread only enqueues work items; the node's own loop thread drains
+// them, pumps wall-clock timers and is the only thread that ever touches
+// the Process.
+//
+// Incarnation recovery across real process kills: the incarnation lives in
+// a small file in `state_dir`. Every start reads it, bumps it and writes it
+// back *before* going on the network, so a node that was kill-9'd comes
+// back under a strictly higher incarnation no matter how it died. Peers
+// learn the new incarnation from the connection hello and treat the bump as
+// the crash notification (Process::on_peer_crashed), exactly as the
+// in-memory runtimes' membership tables do. Envelope staleness filtering
+// also mirrors them: inbound envelopes stamped with an older incarnation of
+// the sender, or addressed to a dead incarnation of ours, are dropped.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+
+#include "src/common/config.h"
+#include "src/common/metrics.h"
+#include "src/net/tcp_transport.h"
+#include "src/net/transport.h"
+#include "src/rt/process.h"
+
+namespace adgc {
+
+class NodeRuntime {
+ public:
+  struct Options {
+    ProcessId pid = 0;
+    /// cfg.proc drives the collectors (periods are wall-clock microseconds
+    /// here); cfg.net is ignored — latency/loss now come from a real kernel.
+    RuntimeConfig cfg;
+    std::string listen = "127.0.0.1:0";
+    std::map<ProcessId, PeerAddr> peers;
+    /// Directory for the incarnation file and (unless cfg.proc.snapshot_dir
+    /// is set explicitly) the snapshot store. Empty = fully volatile node:
+    /// incarnation 0 every start, no recovery.
+    std::string state_dir;
+    /// Per-peer transport write-queue bound (frames) before shedding.
+    std::size_t peer_queue_limit = 512;
+  };
+
+  explicit NodeRuntime(Options opts);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Binds the listen socket, recovers incarnation + snapshot state, starts
+  /// the IO and loop threads and kicks off the periodic collectors.
+  void start();
+
+  /// Clean drain: stops the loop thread, then gives the transport up to
+  /// `drain_us` to flush queued writes. Idempotent (the SIGTERM path).
+  void stop(SimTime drain_us = 200'000);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  Incarnation incarnation() const { return incarnation_; }
+  /// True when start() recovered state from a persisted snapshot.
+  bool recovered() const { return recovered_; }
+  std::uint16_t port() const { return transport_ ? transport_->port() : 0; }
+
+  /// Runs `fn(process)` on the node's loop thread, asynchronously.
+  void post(std::function<void(Process&)> fn);
+  /// Same, but blocks the caller until the closure ran. Must not be called
+  /// from the loop thread itself.
+  void post_sync(std::function<void(Process&)> fn);
+
+  /// Direct access; only safe after stop().
+  Process& unsafe_proc() { return *proc_; }
+
+  TcpTransport& transport() { return *transport_; }
+  Metrics total_metrics();
+
+ private:
+  class NodeEnv;
+  using WorkItem = std::variant<Envelope, std::function<void()>>;
+
+  void loop();
+  void enqueue(WorkItem item);
+  Incarnation load_and_bump_incarnation();
+
+  Options opts_;
+  Incarnation incarnation_ = 0;
+  bool recovered_ = false;
+  Metrics net_metrics_;
+
+  std::unique_ptr<NodeEnv> env_;
+  std::unique_ptr<TcpTransport> transport_;
+  std::unique_ptr<Process> proc_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<WorkItem> queue_;
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> loop_stop_{false};
+};
+
+}  // namespace adgc

@@ -97,7 +97,7 @@ void Process::send(ProcessId dst, const MessagePayload& msg) {
       }
     }
   }
-  peer_health_.on_send(dst);
+  peer_health_.on_send(dst, env_.now());
   env_.send(dst, msg);
 }
 

@@ -1,0 +1,396 @@
+#include "src/sim/cluster_harness.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace adgc::sim {
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Picks a free localhost TCP port by binding port 0 and reading back what
+/// the kernel assigned. The port is released again before the node binds
+/// it — a classic TOCTOU, but on a quiet localhost the reuse window is
+/// negligible and the node fails loudly (bind error, nonzero exit) if lost.
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  std::uint16_t port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port = ntohs(addr.sin_port);
+    }
+  }
+  ::close(fd);
+  return port;
+}
+
+/// Latest parsed state of one node, built from its status lines.
+struct NodeView {
+  std::uint64_t t_ms = 0;
+  bool recovered = false;
+  std::size_t chain_live = SIZE_MAX;  // unknown until first status line
+  bool sentinel_live = true;
+  std::uint64_t snaps = 0;
+  bool planted = false;
+  bool root_dropped = false;
+  bool saw_status = false;
+};
+
+struct Child {
+  pid_t pid = -1;
+  int out_fd = -1;
+  std::string line_buf;
+  std::vector<std::string> argv;  // kept for the restart leg
+  NodeView view;
+  bool exited = false;
+  int exit_status = 0;
+};
+
+std::map<std::string, std::string> parse_kv(const std::string& line) {
+  std::map<std::string, std::string> kv;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq != std::string::npos) kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+std::uint64_t kv_u64(const std::map<std::string, std::string>& kv, const char* key) {
+  auto it = kv.find(key);
+  return it == kv.end() ? 0 : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+void apply_line(Child& c, const std::string& line, bool verbose) {
+  if (verbose) std::fprintf(stderr, "[cluster] %s\n", line.c_str());
+  const auto kv = parse_kv(line);
+  if (line.rfind("NODE ", 0) == 0 || line.rfind("NODE-EXIT ", 0) == 0) {
+    c.view.saw_status = true;
+    c.view.t_ms = kv_u64(kv, "t_ms");
+    c.view.recovered = kv_u64(kv, "recovered") != 0;
+    c.view.chain_live = static_cast<std::size_t>(kv_u64(kv, "chain_live"));
+    c.view.sentinel_live = kv_u64(kv, "sentinel_live") != 0;
+    c.view.snaps = kv_u64(kv, "snaps");
+  } else if (line.rfind("NODE-PLANTED", 0) == 0) {
+    c.view.planted = true;
+  } else if (line.rfind("NODE-ROOT-DROPPED", 0) == 0) {
+    c.view.root_dropped = true;
+  }
+}
+
+/// Spawns one node; stdout goes to a pipe (returned in child.out_fd),
+/// stderr is inherited from the harness.
+bool spawn(Child& c, std::string* err) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    *err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    *err = std::string("fork: ") + std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.reserve(c.argv.size() + 1);
+    for (auto& a : c.argv) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "execv %s: %s\n", argv[0], std::strerror(errno));
+    std::_Exit(127);
+  }
+  ::close(fds[1]);
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  c.pid = pid;
+  c.out_fd = fds[0];
+  c.exited = false;
+  c.exit_status = 0;
+  c.line_buf.clear();
+  return true;
+}
+
+/// Drains any complete lines from every live child's pipe (non-blocking).
+void pump_output(std::vector<Child>& children, bool verbose) {
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (children[i].out_fd >= 0) {
+      pfds.push_back(pollfd{children[i].out_fd, POLLIN, 0});
+      idx.push_back(i);
+    }
+  }
+  if (pfds.empty()) return;
+  if (::poll(pfds.data(), pfds.size(), 50) <= 0) return;
+  char buf[4096];
+  for (std::size_t k = 0; k < pfds.size(); ++k) {
+    if (!(pfds[k].revents & (POLLIN | POLLHUP))) continue;
+    Child& c = children[idx[k]];
+    for (;;) {
+      const ssize_t n = ::read(c.out_fd, buf, sizeof(buf));
+      if (n > 0) {
+        c.line_buf.append(buf, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = c.line_buf.find('\n')) != std::string::npos) {
+          apply_line(c, c.line_buf.substr(0, nl), verbose);
+          c.line_buf.erase(0, nl + 1);
+        }
+        continue;
+      }
+      if (n == 0) {  // EOF: child closed stdout (exited or exiting)
+        ::close(c.out_fd);
+        c.out_fd = -1;
+      }
+      break;  // n == 0, or n < 0 with EAGAIN/any error
+    }
+  }
+}
+
+void reap(std::vector<Child>& children) {
+  for (auto& c : children) {
+    if (c.pid < 0 || c.exited) continue;
+    int status = 0;
+    const pid_t r = ::waitpid(c.pid, &status, WNOHANG);
+    if (r == c.pid) {
+      c.exited = true;
+      c.exit_status = status;
+    }
+  }
+}
+
+void kill_all(std::vector<Child>& children, int sig) {
+  for (auto& c : children) {
+    if (c.pid >= 0 && !c.exited) ::kill(c.pid, sig);
+  }
+}
+
+/// Blocks (bounded) until every child exited; SIGKILLs stragglers.
+void wait_all(std::vector<Child>& children, std::uint64_t budget_ms) {
+  const std::uint64_t deadline = now_ms() + budget_ms;
+  for (;;) {
+    pump_output(children, false);
+    reap(children);
+    bool all = true;
+    for (auto& c : children) {
+      if (c.pid >= 0 && !c.exited) all = false;
+    }
+    if (all) break;
+    if (now_ms() >= deadline) {
+      kill_all(children, SIGKILL);
+      for (auto& c : children) {
+        if (c.pid >= 0 && !c.exited) {
+          int status = 0;
+          ::waitpid(c.pid, &status, 0);
+          c.exited = true;
+          c.exit_status = status;
+        }
+      }
+      break;
+    }
+  }
+  for (auto& c : children) {
+    if (c.out_fd >= 0) {
+      ::close(c.out_fd);
+      c.out_fd = -1;
+    }
+  }
+}
+
+std::string describe(const std::vector<Child>& children) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const NodeView& v = children[i].view;
+    out << " node" << i << "{t_ms=" << v.t_ms << " chain_live="
+        << (v.chain_live == SIZE_MAX ? -1 : static_cast<long>(v.chain_live))
+        << " sentinel=" << v.sentinel_live << " snaps=" << v.snaps
+        << " recovered=" << v.recovered << " exited=" << children[i].exited << "}";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
+  ClusterResult res;
+  if (opts.node_bin.empty() || opts.state_dir.empty()) {
+    res.failure = "node_bin and state_dir are required";
+    return res;
+  }
+  if (opts.nodes < 2) {
+    res.failure = "need at least 2 nodes";
+    return res;
+  }
+  std::filesystem::create_directories(opts.state_dir);
+
+  // Pre-pick one listen port per node so every node can be handed the full
+  // peer address map up front.
+  std::vector<std::uint16_t> ports(opts.nodes);
+  for (auto& p : ports) {
+    p = pick_free_port();
+    if (p == 0) {
+      res.failure = "could not allocate a localhost port";
+      return res;
+    }
+  }
+  std::ostringstream peers;
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    if (i) peers << ",";
+    peers << i << "=127.0.0.1:" << ports[i];
+  }
+
+  std::vector<Child> children(opts.nodes);
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    Child& c = children[i];
+    c.argv = {
+        opts.node_bin,
+        "--id=" + std::to_string(i),
+        "--listen=127.0.0.1:" + std::to_string(ports[i]),
+        "--peers=" + peers.str(),
+        "--state-dir=" + opts.state_dir + "/node" + std::to_string(i),
+        "--seed=" + std::to_string(opts.seed + i),
+        "--plant-ring=" + std::to_string(opts.nodes) + ":" +
+            std::to_string(opts.objs_per_node),
+        "--drop-root-after-ms=" + std::to_string(opts.drop_root_after_ms),
+        "--status-every-ms=100",
+    };
+    if (opts.verbose) c.argv.push_back("--verbose");
+    if (!spawn(c, &res.failure)) {
+      kill_all(children, SIGKILL);
+      wait_all(children, 5'000);
+      return res;
+    }
+  }
+
+  const std::size_t victim = opts.kill_restart ? 1 : SIZE_MAX;
+  enum class Phase { kWaitKillPoint, kWaitRestart, kWaitCollected } phase =
+      opts.kill_restart ? Phase::kWaitKillPoint : Phase::kWaitCollected;
+  const std::uint64_t start = now_ms();
+  const std::uint64_t deadline = start + opts.timeout_ms;
+  std::string fail;
+
+  while (now_ms() < deadline) {
+    pump_output(children, opts.verbose);
+    reap(children);
+
+    // Safety tripwire: the rooted sentinel must never die, on any node.
+    for (std::size_t i = 0; i < opts.nodes; ++i) {
+      if (children[i].view.saw_status && !children[i].view.sentinel_live) {
+        fail = "sentinel reclaimed on node " + std::to_string(i) +
+               " (over-collection):" + describe(children);
+        break;
+      }
+    }
+    if (!fail.empty()) break;
+
+    // A node exiting before it was asked to is a failure (bind error, bad
+    // flag, crash) — except the victim right after our own SIGKILL.
+    for (std::size_t i = 0; i < opts.nodes; ++i) {
+      if (children[i].exited && !(i == victim && phase == Phase::kWaitRestart)) {
+        fail = "node " + std::to_string(i) + " exited prematurely (status " +
+               std::to_string(children[i].exit_status) + "):" + describe(children);
+        break;
+      }
+    }
+    if (!fail.empty()) break;
+
+    if (phase == Phase::kWaitKillPoint) {
+      // Kill once the cycle is garbage (root dropped) and the victim has a
+      // snapshot covering its planted slice — the most adversarial moment:
+      // detection is in flight, and recovery must resurrect enough state
+      // for it to finish.
+      if (children[0].view.root_dropped && children[victim].view.snaps >= 1) {
+        ::kill(children[victim].pid, SIGKILL);
+        int status = 0;
+        ::waitpid(children[victim].pid, &status, 0);
+        children[victim].exited = true;
+        if (children[victim].out_fd >= 0) {
+          ::close(children[victim].out_fd);
+          children[victim].out_fd = -1;
+        }
+        children[victim].view = NodeView{};  // fresh view for the new life
+        if (!spawn(children[victim], &fail)) break;
+        phase = Phase::kWaitRestart;
+      }
+    } else if (phase == Phase::kWaitRestart) {
+      if (children[victim].view.saw_status) {
+        if (!children[victim].view.recovered) {
+          fail = "restarted node did not recover from its snapshot:" +
+                 describe(children);
+          break;
+        }
+        res.victim_recovered = true;
+        phase = Phase::kWaitCollected;
+      }
+    } else {  // kWaitCollected
+      bool done = true;
+      for (std::size_t i = 0; i < opts.nodes; ++i) {
+        const NodeView& v = children[i].view;
+        if (!v.saw_status || v.chain_live != 0 || !v.sentinel_live) done = false;
+      }
+      if (done) {
+        // Clean shutdown: SIGTERM everyone, expect exit code 0.
+        kill_all(children, SIGTERM);
+        wait_all(children, 10'000);
+        for (std::size_t i = 0; i < opts.nodes; ++i) {
+          const int st = children[i].exit_status;
+          if (!WIFEXITED(st) || WEXITSTATUS(st) != 0) {
+            fail = "node " + std::to_string(i) + " did not drain cleanly (status " +
+                   std::to_string(st) + ")";
+          }
+          if (!children[i].view.sentinel_live) {
+            fail = "sentinel dead in final report of node " + std::to_string(i);
+          }
+        }
+        res.ok = fail.empty();
+        res.failure = fail;
+        res.elapsed_ms = now_ms() - start;
+        return res;
+      }
+    }
+  }
+
+  if (fail.empty()) fail = "timeout waiting for cycle reclamation:" + describe(children);
+  kill_all(children, SIGKILL);
+  wait_all(children, 5'000);
+  res.failure = fail;
+  res.elapsed_ms = now_ms() - start;
+  return res;
+}
+
+}  // namespace adgc::sim

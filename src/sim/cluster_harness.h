@@ -1,0 +1,52 @@
+// Multi-process cluster harness: forks N adgc_node binaries on localhost,
+// plants the Fig. 3 ring across them (each node runs its own slice of the
+// deterministic ClusterPlant script), drops the ring anchor's root, and
+// asserts that DCDA reclaims the now-garbage cross-process cycle over real
+// TCP — optionally SIGKILLing one cycle member mid-detection and restarting
+// it to exercise incarnation recovery end-to-end.
+//
+// The harness is the parent process. It never speaks the wire protocol
+// itself; all observation happens through the nodes' machine-readable
+// status lines on stdout ("NODE id=.. chain_live=.. sentinel_live=.. ...").
+// Control actions are plain POSIX: fork/exec, SIGKILL, SIGTERM, waitpid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace adgc::sim {
+
+struct ClusterHarnessOptions {
+  /// Path to the adgc_node binary (required).
+  std::string node_bin;
+  std::size_t nodes = 3;
+  std::size_t objs_per_node = 3;
+  /// SIGKILL node 1 after the root drop and restart it (incarnation
+  /// recovery leg). Requires nodes >= 2.
+  bool kill_restart = true;
+  /// Overall wall-clock budget before the harness declares failure.
+  std::uint64_t timeout_ms = 90'000;
+  /// Scratch directory for incarnation files + snapshots (required; the
+  /// harness creates per-node subdirectories inside it).
+  std::string state_dir;
+  std::uint64_t seed = 1;
+  /// Node 0 drops the ring anchor's root this long after starting.
+  std::uint64_t drop_root_after_ms = 1'200;
+  bool verbose = false;
+};
+
+struct ClusterResult {
+  bool ok = false;
+  /// Human-readable reason when !ok.
+  std::string failure;
+  /// Observability: did the restarted node report snapshot recovery?
+  bool victim_recovered = false;
+  std::uint64_t elapsed_ms = 0;
+};
+
+/// Runs the full scenario; blocks until success, failure, or timeout.
+/// Always reaps every child it spawned before returning.
+ClusterResult run_cluster(const ClusterHarnessOptions& opts);
+
+}  // namespace adgc::sim

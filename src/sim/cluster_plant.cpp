@@ -1,0 +1,70 @@
+#include "src/sim/cluster_plant.h"
+
+#include <stdexcept>
+
+namespace adgc::sim {
+
+void ClusterPlant::plant_local(Process& p, ProcessId pid) const {
+  if (nodes < 2 || objs_per_node < 1) throw std::invalid_argument("bad plant shape");
+  if (p.incarnation() != 0) {
+    throw std::logic_error("plant_local on a restarted node (state is recovered)");
+  }
+
+  // Chain 1..K. Sequences must come out as the script predicts — a node
+  // whose heap was not empty cannot participate.
+  ObjectSeq prev = kNoObject;
+  for (std::size_t i = 0; i < objs_per_node; ++i) {
+    const ObjectSeq seq = p.create_object();
+    if (seq != static_cast<ObjectSeq>(i + 1)) {
+      throw std::logic_error("plant_local: unexpected object sequence");
+    }
+    if (prev != kNoObject) p.add_local_ref(prev, seq);
+    prev = seq;
+  }
+
+  // Export the head to the previous node in the ring. First export of this
+  // incarnation → RefId is make_ref_id(pid, 1), which is exactly what the
+  // holder's script installs.
+  const ExportedRef exported = p.export_own_object(head_seq(), prev_of(pid));
+  if (exported.ref != ring_ref_exported_by(pid)) {
+    throw std::logic_error("plant_local: unexpected exported RefId");
+  }
+
+  // Install the next node's head reference at our tail (its owner's script
+  // creates the matching scion on its side).
+  ExportedRef inbound;
+  inbound.ref = ring_ref_exported_by(next_of(pid));
+  inbound.target = ObjectId{next_of(pid), 1 /* its head_seq */};
+  p.install_ref(tail_seq(), inbound);
+
+  // The rooted sentinel: if any collector ever reclaims this, safety broke.
+  const ObjectSeq sentinel = p.create_object();
+  if (sentinel != sentinel_seq()) throw std::logic_error("plant_local: sentinel seq");
+  p.add_root(sentinel);
+
+  // Node 0 pins the ring alive through the anchor until the test drops it.
+  if (pid == 0) {
+    const ObjectSeq anchor = p.create_object();
+    if (anchor != anchor_seq()) throw std::logic_error("plant_local: anchor seq");
+    p.add_local_ref(anchor, head_seq());
+    p.add_root(anchor);
+  }
+}
+
+void ClusterPlant::drop_anchor_root(Process& p) const {
+  p.remove_root(anchor_seq());
+}
+
+std::size_t ClusterPlant::chain_live(const Process& p) const {
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < objs_per_node; ++i) {
+    if (p.heap().exists(static_cast<ObjectSeq>(i + 1))) ++live;
+  }
+  return live;
+}
+
+bool ClusterPlant::sentinel_live(const Process& p) const {
+  return p.heap().exists(sentinel_seq());
+}
+
+}  // namespace adgc::sim

@@ -1,0 +1,72 @@
+// Deterministic cross-process graph plant for the TCP cluster.
+//
+// The in-sim scenario builders (sim/scenarios.h) construct figures by
+// reaching into every Process of one Runtime. Across real OS processes
+// there is no such omniscient hand — instead, each node executes its OWN
+// slice of a fixed plant script, and the script exploits the determinism of
+// identifier minting: a freshly started node (incarnation 0) allocates
+// object sequences 1, 2, 3, … and exports references make_ref_id(pid, 1),
+// make_ref_id(pid, 2), … So every node can compute, without any message,
+// the exact ObjectId/RefId that every other node's slice produces, and
+// install stubs for references whose scions the owner creates on its side
+// of the script.
+//
+// The planted structure is the paper's Fig. 3 generalized to N nodes (the
+// same shape build_ring() plants in-sim): node i owns a local chain of K
+// objects; its tail holds a remote reference to node (i+1)'s head; node 0
+// additionally pins the ring through a rooted anchor. Every node also roots
+// a local sentinel that must survive everything (the over-collection
+// tripwire). Dropping the anchor's root turns the whole N-process ring into
+// a distributed garbage cycle that only DCDA can reclaim — now across real
+// sockets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/rt/process.h"
+
+namespace adgc::sim {
+
+struct ClusterPlant {
+  std::size_t nodes = 3;
+  std::size_t objs_per_node = 3;
+
+  // ---- the fixed layout (valid for incarnation-0 nodes) ----
+  ObjectSeq head_seq() const { return 1; }
+  ObjectSeq tail_seq() const { return static_cast<ObjectSeq>(objs_per_node); }
+  /// Rooted sentinel every node keeps forever.
+  ObjectSeq sentinel_seq() const { return static_cast<ObjectSeq>(objs_per_node + 1); }
+  /// Root-pinned ring anchor; exists on node 0 only.
+  ObjectSeq anchor_seq() const { return static_cast<ObjectSeq>(objs_per_node + 2); }
+  /// The reference closing the ring out of node `holder`: exported by the
+  /// next node over, installed at `holder`'s tail.
+  ProcessId next_of(ProcessId pid) const {
+    return static_cast<ProcessId>((pid + 1) % nodes);
+  }
+  ProcessId prev_of(ProcessId pid) const {
+    return static_cast<ProcessId>((pid + nodes - 1) % nodes);
+  }
+  RefId ring_ref_exported_by(ProcessId exporter) const {
+    return make_ref_id(exporter, 1);
+  }
+
+  /// Executes node `pid`'s slice of the script. Must run on a freshly
+  /// started Process (incarnation 0, empty heap) — recovered nodes already
+  /// carry the planted state in their snapshot.
+  void plant_local(Process& p, ProcessId pid) const;
+
+  /// Drops the ring anchor's root (node 0 only): the whole ring becomes a
+  /// distributed garbage cycle.
+  void drop_anchor_root(Process& p) const;
+
+  /// How many of this node's chain objects still exist (the reclamation
+  /// progress gauge; 0 = this node's slice of the cycle was collected).
+  std::size_t chain_live(const Process& p) const;
+
+  /// True while the rooted sentinel exists (must always hold).
+  bool sentinel_live(const Process& p) const;
+};
+
+}  // namespace adgc::sim

@@ -1,0 +1,228 @@
+// Frame codec tests: round-trips, incremental decoding, and — most
+// importantly — the rejection paths. A TCP byte stream that desynchronizes
+// must poison the decoder (the connection gets dropped), never yield a
+// half-garbage frame.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/crc32.h"
+#include "src/net/frame.h"
+
+namespace adgc {
+namespace {
+
+Frame sample_data_frame() {
+  CdmMsg cdm;
+  cdm.detection = DetectionId{7, 3};
+  cdm.candidate = make_ref_id(7, 1);
+  cdm.via = make_ref_id(2, 9);
+  cdm.via_ic = 42;
+  cdm.hops = 3;
+  cdm.source = {{make_ref_id(1, 1), 5}, {make_ref_id(1, 2), 6}};
+  cdm.target = {{make_ref_id(2, 9), 42}};
+
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.src = 7;
+  f.dst = 2;
+  f.src_inc = 4;
+  f.dst_inc = 1;
+  f.payload = encode_message(MessagePayload{cdm});
+  return f;
+}
+
+/// Feeds `bytes` and expects exactly one healthy frame back.
+Frame decode_one(const std::vector<std::byte>& bytes) {
+  FrameDecoder dec;
+  dec.feed(bytes);
+  auto got = dec.next();
+  EXPECT_TRUE(got.has_value());
+  EXPECT_FALSE(dec.failed()) << dec.error_detail();
+  EXPECT_FALSE(dec.next().has_value());  // nothing extra buffered
+  return got.value_or(Frame{});
+}
+
+TEST(FrameCodec, DataFrameRoundTrip) {
+  const Frame f = sample_data_frame();
+  const Frame got = decode_one(encode_frame(f));
+  EXPECT_EQ(got.kind, FrameKind::kData);
+  EXPECT_EQ(got.src, f.src);
+  EXPECT_EQ(got.dst, f.dst);
+  EXPECT_EQ(got.src_inc, f.src_inc);
+  EXPECT_EQ(got.dst_inc, f.dst_inc);
+  EXPECT_EQ(got.payload, f.payload);
+  // The payload survives all the way to the message layer.
+  const MessagePayload msg = decode_message(got.payload);
+  EXPECT_STREQ(message_kind(msg), "Cdm");
+}
+
+TEST(FrameCodec, HelloFrameRoundTrip) {
+  const Frame got = decode_one(encode_hello_frame(11, 5));
+  EXPECT_EQ(got.kind, FrameKind::kHello);
+  EXPECT_EQ(got.src, 11u);
+  EXPECT_EQ(got.src_inc, 5u);
+  EXPECT_TRUE(got.payload.empty());
+}
+
+TEST(FrameCodec, EnvelopeHelperMatchesFields) {
+  Envelope env;
+  env.src = 3;
+  env.dst = 9;
+  env.src_inc = 2;
+  env.dst_inc = kUnknownIncarnation;
+  env.bytes = encode_message(MessagePayload{ReplyMsg{make_ref_id(9, 1), 10, 77}});
+  const Frame got = decode_one(encode_data_frame(env));
+  EXPECT_EQ(got.src, 3u);
+  EXPECT_EQ(got.dst, 9u);
+  EXPECT_EQ(got.src_inc, 2u);
+  EXPECT_EQ(got.dst_inc, kUnknownIncarnation);
+  EXPECT_EQ(got.payload, env.bytes);
+}
+
+TEST(FrameCodec, ByteAtATimeFeed) {
+  const auto bytes = encode_frame(sample_data_frame());
+  FrameDecoder dec;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    dec.feed({&bytes[i], 1});
+    EXPECT_FALSE(dec.next().has_value()) << "frame complete too early at " << i;
+    ASSERT_FALSE(dec.failed()) << dec.error_detail();
+  }
+  dec.feed({&bytes[bytes.size() - 1], 1});
+  const auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, sample_data_frame().payload);
+}
+
+TEST(FrameCodec, BackToBackFramesInOneFeed) {
+  auto bytes = encode_hello_frame(1, 0);
+  const auto second = encode_frame(sample_data_frame());
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  FrameDecoder dec;
+  dec.feed(bytes);
+  const auto a = dec.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, FrameKind::kHello);
+  const auto b = dec.next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->kind, FrameKind::kData);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameCodec, TruncatedStreamYieldsNothingButStaysHealthy) {
+  const auto bytes = encode_frame(sample_data_frame());
+  FrameDecoder dec;
+  dec.feed({bytes.data(), bytes.size() - 7});
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.failed());  // truncation = "need more", not corruption
+}
+
+TEST(FrameCodec, GarbagePoisonsWithBadMagic) {
+  std::vector<std::byte> junk(64, std::byte{0x5a});
+  FrameDecoder dec;
+  dec.feed(junk);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadMagic);
+  EXPECT_NE(dec.error_detail(), "");
+  // Poisoned for good: even valid bytes afterwards yield nothing.
+  dec.feed(encode_hello_frame(1, 0));
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameCodec, CrcMismatchRejected) {
+  auto bytes = encode_frame(sample_data_frame());
+  bytes.back() ^= std::byte{0x01};  // flip one payload bit
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadCrc);
+}
+
+TEST(FrameCodec, HeaderCorruptionSurfacesAsCrcOrLengthError) {
+  // Corrupting the stored payload length desynchronizes the stream; the
+  // decoder must refuse (oversize) or mismatch CRC — never hand out a frame.
+  auto bytes = encode_frame(sample_data_frame());
+  bytes[24] = std::byte{0xff};  // length field, little-endian low byte
+  bytes[25] = std::byte{0xff};
+  bytes[26] = std::byte{0xff};
+  bytes[27] = std::byte{0x7f};
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kOversized);
+}
+
+TEST(FrameCodec, FutureVersionRejectedGracefully) {
+  auto bytes = encode_frame(sample_data_frame());
+  bytes[4] = std::byte{0xff};  // version field
+  bytes[5] = std::byte{0x00};
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadVersion);
+}
+
+TEST(FrameCodec, UnknownKindRejected) {
+  auto bytes = encode_frame(sample_data_frame());
+  bytes[6] = std::byte{0x77};  // kind field
+  bytes[7] = std::byte{0x77};
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadKind);
+}
+
+TEST(FrameCodec, OversizedLengthRejectedBeforeBuffering) {
+  // A length just past the cap must poison immediately from the header
+  // alone — the decoder may not wait for (or try to allocate) the payload.
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.payload.resize(16);
+  auto bytes = encode_frame(f);
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(&bytes[24], &huge, sizeof(huge));
+  FrameDecoder dec;
+  dec.feed({bytes.data(), kFrameHeaderSize});  // header only
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kOversized);
+}
+
+TEST(FrameCodec, EmptyPayloadDataFrameOk) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.src = 1;
+  f.dst = 2;
+  const Frame got = decode_one(encode_frame(f));
+  EXPECT_TRUE(got.payload.empty());
+}
+
+TEST(FrameCodec, PeekTagClassifiesWithoutDecoding) {
+  const auto cdm = encode_message(MessagePayload{CdmMsg{}});
+  const auto nss = encode_message(MessagePayload{NewSetStubsMsg{}});
+  const auto inv = encode_message(MessagePayload{InvokeMsg{}});
+  EXPECT_EQ(peek_message_tag(cdm), static_cast<std::uint8_t>(MessageTag::kCdm));
+  EXPECT_TRUE(is_cdm_payload(cdm));
+  EXPECT_FALSE(is_cdm_payload(nss));
+  EXPECT_TRUE(is_new_set_stubs_payload(nss));
+  EXPECT_FALSE(is_new_set_stubs_payload(inv));
+  EXPECT_EQ(peek_message_tag({}), 0u);
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The standard IEEE 802.3 check value: CRC-32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  std::vector<std::byte> bytes(9);
+  std::memcpy(bytes.data(), s, 9);
+  EXPECT_EQ(crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+  // Incremental == one-shot.
+  const std::uint32_t inc = crc32_update(crc32_update(0, {bytes.data(), 4}),
+                                         {bytes.data() + 4, 5});
+  EXPECT_EQ(inc, 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace adgc

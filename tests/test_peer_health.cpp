@@ -62,7 +62,7 @@ TEST_F(PeerHealthTest, AccrualSuspectsSilentPeerOnlyWhileContacting) {
   // Idle peer: no outstanding traffic, arbitrarily long silence is fine.
   EXPECT_FALSE(tracker.suspected(1, 1'000'000'000));
   // Outstanding traffic + silence beyond phi * max(srtt, floor) suspects.
-  tracker.on_send(1);
+  tracker.on_send(1, 1000);
   const double srtt = std::max(tracker.srtt_us(1),
                                static_cast<double>(cfg.suspect_rtt_floor_us));
   const SimTime limit = 1000 + static_cast<SimTime>(cfg.suspect_phi * srtt);
@@ -70,26 +70,50 @@ TEST_F(PeerHealthTest, AccrualSuspectsSilentPeerOnlyWhileContacting) {
   EXPECT_TRUE(tracker.suspected(1, limit + 1));  // past it: suspected
 }
 
-TEST_F(PeerHealthTest, NeverHeardPeerNeverAccrues) {
-  // Asymmetric link: we send and send but the peer never sends anything
-  // (e.g. a NewSetStubs-only contact). No baseline → no accrual suspicion,
-  // no matter how much is outstanding.
-  for (int i = 0; i < 1000; ++i) tracker.on_send(1);
-  EXPECT_FALSE(tracker.suspected(1, 1'000'000'000));
+TEST_F(PeerHealthTest, NeverHeardPeerSuspectedOnlyByTimeouts) {
+  // A peer that was down from the start: we send and send but it never
+  // answers. Phi accrual stays off — there is no observed RTT to accrue
+  // against, and suspecting every cold peer on a clock delays collection —
+  // so suspicion comes from the explicit retry-timeout half instead.
+  for (int i = 0; i < 1000; ++i) tracker.on_send(1, 5000);
   EXPECT_EQ(tracker.outstanding(1), 1000u);
+  EXPECT_FALSE(tracker.suspected(1, 1'000'000'000));
+  EXPECT_DOUBLE_EQ(tracker.phi(1, 1'000'000'000), 0.0);
+  for (std::uint32_t i = 0; i < cfg.suspect_after_failures; ++i) {
+    tracker.on_timeout(1, 6000 + i);
+  }
+  EXPECT_TRUE(tracker.suspected(1, 7000));
+}
+
+TEST_F(PeerHealthTest, IdleGapDoesNotCountAsSilence) {
+  // Heard long ago, then idle (nothing outstanding), then we resume
+  // sending at a wall-clock time far past last_heard. Silence must accrue
+  // from the resume, not across the idle gap — otherwise every first send
+  // after an idle period instantly suspects the peer under wall clocks.
+  tracker.on_response(1, 1000, 1000);
+  tracker.on_send(1, 500'000'000);  // resume after ~500s idle
+  EXPECT_FALSE(tracker.suspected(1, 500'000'001));
+  const double srtt = std::max(tracker.srtt_us(1),
+                               static_cast<double>(cfg.suspect_rtt_floor_us));
+  const SimTime limit = 500'000'000 + static_cast<SimTime>(cfg.suspect_phi * srtt);
+  EXPECT_FALSE(tracker.suspected(1, limit));
+  EXPECT_TRUE(tracker.suspected(1, limit + 1));
 }
 
 TEST_F(PeerHealthTest, OutstandingWindowResetsOnLife) {
-  for (int i = 0; i < 10; ++i) tracker.on_send(1);
+  for (int i = 0; i < 10; ++i) tracker.on_send(1, 10);
   EXPECT_EQ(tracker.outstanding(1), 10u);
   tracker.on_heard(1, 50);
   EXPECT_EQ(tracker.outstanding(1), 0u);
+  // The next send opens a fresh accrual window at its own timestamp.
+  tracker.on_send(1, 60);
+  EXPECT_DOUBLE_EQ(tracker.phi(1, 60), 0.0);
 }
 
 TEST_F(PeerHealthTest, PhiDiagnostics) {
   EXPECT_DOUBLE_EQ(tracker.phi(1, 100), 0.0);  // never contacted
   tracker.on_response(1, 4000, 1000);          // srtt 4000 > floor 2000
-  tracker.on_send(1);
+  tracker.on_send(1, 1000);
   EXPECT_DOUBLE_EQ(tracker.phi(1, 9000), 2.0);  // 8000us silence / 4000us srtt
 }
 

@@ -1,0 +1,277 @@
+// adgc_node — standalone ADGC node: one collector process over real TCP.
+//
+// Runs one ADGC Process on the NodeRuntime (wall-clock timers, TCP frames
+// to its peers), mirroring adgc_sim's workload/crash flags where they make
+// sense for a single node of a real cluster.
+//
+//   adgc_node --id=N --listen=host:port --peers=0=h:p,1=h:p,...
+//             [--state-dir=DIR] [--seed=S] [--run-ms=T]
+//             [--plant-ring=NODES:OBJS] [--drop-root-after-ms=T]
+//             [--crash-at-ms=T] [--status-every-ms=T]
+//             [--lgc-ms=T] [--snapshot-ms=T] [--dcda-ms=T]
+//             [--quarantine-ms=T] [--detect-timeout-ms=T] [--verbose]
+//
+//   --plant-ring        this node's slice of the deterministic Fig. 3 ring
+//                       (see src/sim/cluster_plant.h); skipped automatically
+//                       when the node recovered from a snapshot (restart).
+//   --drop-root-after-ms  node 0 drops the ring anchor's root after this
+//                       delay, turning the ring into distributed garbage.
+//   --crash-at-ms       hard-kill hook for the crash-sweep fault model:
+//                       _exit(137) without any drain, indistinguishable
+//                       from kill -9 for everyone else.
+//   --run-ms=0          run until SIGTERM/SIGINT (the default).
+//
+// Status lines (machine-readable, one per --status-every-ms) go to stdout:
+//   NODE id=.. inc=.. t_ms=.. recovered=.. objects=.. chain_live=..
+//        sentinel_live=.. stubs=.. scions=.. cycles=.. snaps=..
+// A final "NODE-EXIT ..." line is printed on the clean SIGTERM drain path.
+// Exit status: 0 on clean drain, 2 on usage errors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "src/common/log.h"
+#include "src/rt/node_runtime.h"
+#include "src/sim/cluster_plant.h"
+
+using namespace adgc;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  ProcessId id = kNoProcess;
+  std::string listen;
+  std::map<ProcessId, PeerAddr> peers;
+  std::string state_dir;
+  std::uint64_t seed = 1;
+  SimTime run_ms = 0;  // 0 = until signal
+  std::optional<sim::ClusterPlant> plant;
+  SimTime drop_root_after_ms = 0;  // 0 = never
+  SimTime crash_at_ms = 0;         // 0 = never
+  SimTime status_every_ms = 200;
+  // Collector tuning (wall-clock ms; defaults fit a localhost cluster).
+  SimTime lgc_ms = 25, snapshot_ms = 60, dcda_ms = 80, quarantine_ms = 50;
+  SimTime detect_timeout_ms = 2000;
+  bool verbose = false;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s --id=N --listen=host:port --peers=0=h:p,1=h:p,...\n"
+               "          [--state-dir=DIR] [--seed=S] [--run-ms=T]\n"
+               "          [--plant-ring=NODES:OBJS] [--drop-root-after-ms=T]\n"
+               "          [--crash-at-ms=T] [--status-every-ms=T]\n"
+               "          [--lgc-ms=T] [--snapshot-ms=T] [--dcda-ms=T]\n"
+               "          [--quarantine-ms=T] [--detect-timeout-ms=T] [--verbose]\n",
+               argv0);
+  std::exit(code);
+}
+
+std::map<ProcessId, PeerAddr> parse_peers(const std::string& spec) {
+  std::map<ProcessId, PeerAddr> peers;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--peers entry must be id=host:port: '" + entry + "'");
+    }
+    const ProcessId pid =
+        static_cast<ProcessId>(std::strtoul(entry.substr(0, eq).c_str(), nullptr, 10));
+    peers[pid] = parse_peer_addr(entry.substr(eq + 1));
+    pos = comma + 1;
+  }
+  return peers;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--help", &v) || std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0], 0);
+    } else if (parse_flag(argv[i], "--id", &v)) {
+      opt.id = static_cast<ProcessId>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--listen", &v)) {
+      opt.listen = v;
+    } else if (parse_flag(argv[i], "--peers", &v)) {
+      opt.peers = parse_peers(v);
+    } else if (parse_flag(argv[i], "--state-dir", &v)) {
+      opt.state_dir = v;
+    } else if (parse_flag(argv[i], "--seed", &v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--run-ms", &v)) {
+      opt.run_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--plant-ring", &v)) {
+      const std::size_t colon = v.find(':');
+      if (colon == std::string::npos) usage(argv[0], 2);
+      sim::ClusterPlant plant;
+      plant.nodes = std::strtoull(v.substr(0, colon).c_str(), nullptr, 10);
+      plant.objs_per_node = std::strtoull(v.substr(colon + 1).c_str(), nullptr, 10);
+      if (plant.nodes < 2 || plant.objs_per_node < 1) usage(argv[0], 2);
+      opt.plant = plant;
+    } else if (parse_flag(argv[i], "--drop-root-after-ms", &v)) {
+      opt.drop_root_after_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--crash-at-ms", &v)) {
+      opt.crash_at_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--status-every-ms", &v)) {
+      opt.status_every_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--lgc-ms", &v)) {
+      opt.lgc_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--snapshot-ms", &v)) {
+      opt.snapshot_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--dcda-ms", &v)) {
+      opt.dcda_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--quarantine-ms", &v)) {
+      opt.quarantine_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--detect-timeout-ms", &v)) {
+      opt.detect_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--verbose", &v)) {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.id == kNoProcess || opt.listen.empty()) usage(argv[0], 2);
+  if (opt.plant && opt.id >= opt.plant->nodes) {
+    std::fprintf(stderr, "--id is outside the --plant-ring node count\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+struct Status {
+  std::size_t objects = 0, chain_live = 0, stubs = 0, scions = 0;
+  bool sentinel_live = true;
+  std::uint64_t cycles = 0, snaps = 0;
+};
+
+Status collect(NodeRuntime& node, const std::optional<sim::ClusterPlant>& plant) {
+  Status st;
+  node.post_sync([&](Process& p) {
+    st.objects = p.heap().size();
+    st.stubs = p.stubs().size();
+    st.scions = p.scions().size();
+    if (plant) {
+      st.chain_live = plant->chain_live(p);
+      st.sentinel_live = plant->sentinel_live(p);
+    }
+    st.cycles = p.metrics().scions_deleted_cyclic.get();
+    st.snaps = p.metrics().snapshots_taken.get();
+  });
+  return st;
+}
+
+void print_status(const char* tag, const Options& opt, NodeRuntime& node, SimTime t_ms) {
+  const Status st = collect(node, opt.plant);
+  std::printf("%s id=%u inc=%u t_ms=%llu recovered=%d objects=%zu chain_live=%zu "
+              "sentinel_live=%d stubs=%zu scions=%zu cycles=%llu snaps=%llu\n",
+              tag, opt.id, node.incarnation(),
+              static_cast<unsigned long long>(t_ms), node.recovered() ? 1 : 0,
+              st.objects, st.chain_live, st.sentinel_live ? 1 : 0, st.stubs, st.scions,
+              static_cast<unsigned long long>(st.cycles),
+              static_cast<unsigned long long>(st.snaps));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.verbose) Log::set_level(LogLevel::kInfo);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  NodeRuntime::Options nopts;
+  nopts.pid = opt.id;
+  nopts.listen = opt.listen;
+  nopts.peers = opt.peers;
+  nopts.state_dir = opt.state_dir;
+  nopts.cfg.seed = opt.seed;
+  nopts.cfg.proc.lgc_period_us = opt.lgc_ms * 1000;
+  nopts.cfg.proc.snapshot_period_us = opt.snapshot_ms * 1000;
+  nopts.cfg.proc.dcda_scan_period_us = opt.dcda_ms * 1000;
+  nopts.cfg.proc.candidate_quarantine_us = opt.quarantine_ms * 1000;
+  nopts.cfg.proc.detection_timeout_us = opt.detect_timeout_ms * 1000;
+  // Keep the per-candidate relaunch backoff short relative to the harness
+  // timeout: a detection aborted by a peer crash must retry briskly.
+  nopts.cfg.proc.detection_backoff_cap_us = 1'000'000;
+  nopts.cfg.proc.scion_pending_grace_us = 2'000'000;
+
+  NodeRuntime node(std::move(nopts));
+  try {
+    node.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adgc_node: start failed: %s\n", e.what());
+    return 1;
+  }
+
+  if (opt.plant && !node.recovered()) {
+    const sim::ClusterPlant plant = *opt.plant;
+    const ProcessId id = opt.id;
+    node.post_sync([&plant, id](Process& p) { plant.plant_local(p, id); });
+    std::printf("NODE-PLANTED id=%u nodes=%zu objs=%zu\n", id, plant.nodes,
+                plant.objs_per_node);
+    std::fflush(stdout);
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&] {
+    return static_cast<SimTime>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                    std::chrono::steady_clock::now() - started)
+                                    .count());
+  };
+
+  bool root_dropped = false;
+  SimTime next_status_ms = opt.status_every_ms;
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const SimTime t = elapsed_ms();
+    if (opt.crash_at_ms > 0 && t >= opt.crash_at_ms) {
+      // The kill-9 hook: no drain, no flush, no destructors.
+      std::_Exit(137);
+    }
+    if (!root_dropped && opt.plant && opt.id == 0 && opt.drop_root_after_ms > 0 &&
+        t >= opt.drop_root_after_ms && !node.recovered()) {
+      const sim::ClusterPlant plant = *opt.plant;
+      node.post_sync([&plant](Process& p) { plant.drop_anchor_root(p); });
+      root_dropped = true;
+      std::printf("NODE-ROOT-DROPPED id=%u t_ms=%llu\n", opt.id,
+                  static_cast<unsigned long long>(t));
+      std::fflush(stdout);
+    }
+    if (opt.status_every_ms > 0 && t >= next_status_ms) {
+      print_status("NODE", opt, node, t);
+      next_status_ms = t + opt.status_every_ms;
+    }
+    if (opt.run_ms > 0 && t >= opt.run_ms) break;
+  }
+
+  // Clean drain: stop the collectors, flush queued frames, report, exit 0.
+  node.stop();
+  print_status("NODE-EXIT", opt, node, elapsed_ms());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// cluster_harness — end-to-end multi-process test driver.
+//
+//   cluster_harness --node-bin=PATH [--nodes=N] [--objs=K] [--no-kill]
+//                   [--timeout-ms=T] [--state-dir=DIR] [--seed=S] [--verbose]
+//
+// Forks N adgc_node processes on localhost, plants the Fig. 3 ring across
+// them, drops the anchor root, SIGKILLs node 1 mid-detection and restarts
+// it (unless --no-kill), and waits for DCDA to reclaim the cross-process
+// cycle. Exit 0 on success, 1 on failure — suitable as a ctest entry.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "src/sim/cluster_harness.h"
+
+namespace {
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s --node-bin=PATH [--nodes=N] [--objs=K] [--no-kill]\n"
+               "          [--timeout-ms=T] [--state-dir=DIR] [--seed=S] [--verbose]\n",
+               argv0);
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  adgc::sim::ClusterHarnessOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--help", &v) || std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0], 0);
+    } else if (parse_flag(argv[i], "--node-bin", &v)) {
+      opts.node_bin = v;
+    } else if (parse_flag(argv[i], "--nodes", &v)) {
+      opts.nodes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--objs", &v)) {
+      opts.objs_per_node = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--no-kill", &v)) {
+      opts.kill_restart = false;
+    } else if (parse_flag(argv[i], "--timeout-ms", &v)) {
+      opts.timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--state-dir", &v)) {
+      opts.state_dir = v;
+    } else if (parse_flag(argv[i], "--seed", &v)) {
+      opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--verbose", &v)) {
+      opts.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage(argv[0], 2);
+    }
+  }
+  if (opts.node_bin.empty()) usage(argv[0], 2);
+
+  if (opts.state_dir.empty()) {
+    // Unique scratch dir per run so parallel ctest invocations never share
+    // incarnation files or snapshots.
+    std::random_device rd;
+    opts.state_dir = (std::filesystem::temp_directory_path() /
+                      ("adgc_cluster_" + std::to_string(rd()) + "_" +
+                       std::to_string(::getpid())))
+                         .string();
+  }
+
+  // Honor the soak multiplier the CI nightly uses to widen the cluster.
+  if (const char* soak = std::getenv("ADGC_SOAK_MULTIPLIER")) {
+    const unsigned long mult = std::strtoul(soak, nullptr, 10);
+    if (mult > 1) {
+      opts.nodes *= mult;
+      opts.timeout_ms *= mult;
+    }
+  }
+
+  std::printf("cluster_harness: nodes=%zu objs=%zu kill_restart=%d state_dir=%s\n",
+              opts.nodes, opts.objs_per_node, opts.kill_restart ? 1 : 0,
+              opts.state_dir.c_str());
+  std::fflush(stdout);
+
+  const adgc::sim::ClusterResult res = adgc::sim::run_cluster(opts);
+  std::error_code ec;
+  std::filesystem::remove_all(opts.state_dir, ec);
+
+  if (!res.ok) {
+    std::fprintf(stderr, "cluster_harness: FAIL: %s\n", res.failure.c_str());
+    return 1;
+  }
+  std::printf("cluster_harness: OK elapsed_ms=%llu victim_recovered=%d\n",
+              static_cast<unsigned long long>(res.elapsed_ms),
+              res.victim_recovered ? 1 : 0);
+  return 0;
+}
