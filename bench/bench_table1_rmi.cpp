@@ -14,6 +14,7 @@
 // target.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -70,6 +71,71 @@ double run_series(int calls, bool dgc, int lgc_every = 0) {
   }
   rt.run_for(10'000);
   return sw.ms();
+}
+
+/// Wire-cost series: how many transport messages one RMI costs when its
+/// control-plane traffic (AddScion acks here) is batched vs sent one
+/// message each. Three processes: client P0 invokes server P1, passing 10
+/// references it holds into owner P2 — every call runs 10 scion-first
+/// handshakes, so the owner's ack stream is exactly the traffic the
+/// batcher coalesces. Counts are deterministic (seeded simulation).
+struct WireCost {
+  double msgs_per_rmi = 0;
+  double p50_burst_drain_us = 0;
+};
+
+WireCost run_wire_series(int bursts, int burst_size, bool batching) {
+  RuntimeConfig cfg = rmi_config(true);
+  cfg.proc.batching_enabled = batching;
+  Runtime rt(3, cfg);
+  const ObjectId client{0, rt.proc(0).create_object()};
+  const ObjectId server{1, rt.proc(1).create_object()};
+  rt.proc(0).add_root(client.seq);
+  rt.proc(1).add_root(server.seq);
+  const RefId call_ref = rt.link(client, server);
+
+  // P2 exports 10 objects to the client; the client re-exports them on
+  // every call (third-party export → AddScion to P2 → ack back).
+  std::vector<RefId> held;
+  for (int i = 0; i < 10; ++i) {
+    const ObjectSeq obj = rt.proc(2).create_object();
+    rt.proc(2).add_root(obj);
+    const ExportedRef er = rt.proc(2).export_own_object(obj, 0);
+    held.push_back(rt.proc(0).install_ref(client.seq, er));
+  }
+  rt.run_for(10'000);
+
+  const std::uint64_t msgs_before = rt.net_metrics().messages_sent.get();
+  std::uint64_t expected_replies = rt.total_metrics().replies_received.get();
+  std::vector<double> drain_us;
+  drain_us.reserve(static_cast<std::size_t>(bursts));
+  for (int b = 0; b < bursts; ++b) {
+    const SimTime start = rt.proc(0).now();
+    for (int i = 0; i < burst_size; ++i) {
+      std::vector<ArgRef> args;
+      args.reserve(held.size());
+      for (const RefId r : held) args.push_back(ArgRef::held(r));
+      rt.proc(0).invoke(client.seq, call_ref, InvokeEffect::kTouch, std::move(args));
+    }
+    expected_replies += static_cast<std::uint64_t>(burst_size);
+    // Drain the burst: every invoke has completed its handshakes, crossed
+    // the wire and been answered.
+    SimTime guard = 0;
+    while (rt.total_metrics().replies_received.get() < expected_replies &&
+           guard < 5'000'000) {
+      rt.run_for(50);
+      guard += 50;
+    }
+    drain_us.push_back(static_cast<double>(rt.proc(0).now() - start));
+  }
+  const std::uint64_t msgs = rt.net_metrics().messages_sent.get() - msgs_before;
+
+  WireCost out;
+  out.msgs_per_rmi =
+      static_cast<double>(msgs) / (static_cast<double>(bursts) * burst_size);
+  std::sort(drain_us.begin(), drain_us.end());
+  out.p50_burst_drain_us = drain_us[drain_us.size() / 2];
+  return out;
 }
 
 void BM_RmiSeries(benchmark::State& state) {
@@ -132,5 +198,28 @@ int main(int argc, char** argv) {
                                           {"dgc_ms", dgc},
                                           {"overhead_pct", overhead}});
   }
+
+  bench::header(
+      "Extension — transport messages per RMI, control-plane batching on/off\n"
+      "(each call re-exports 10 held references: 10 AddScion handshakes\n"
+      " whose acks are the batchable traffic; counts are deterministic)");
+  std::printf("%-10s %14s %20s\n", "batching", "msgs/RMI", "p50 burst drain (us)");
+  const int kBursts = 30, kBurstSize = 16;
+  const WireCost off = run_wire_series(kBursts, kBurstSize, false);
+  const WireCost on = run_wire_series(kBursts, kBurstSize, true);
+  const double reduction = (off.msgs_per_rmi - on.msgs_per_rmi) / off.msgs_per_rmi * 100.0;
+  const double p50_ratio = on.p50_burst_drain_us / off.p50_burst_drain_us;
+  std::printf("%-10s %14.2f %20.0f\n", "off", off.msgs_per_rmi, off.p50_burst_drain_us);
+  std::printf("%-10s %14.2f %20.0f\n", "on", on.msgs_per_rmi, on.p50_burst_drain_us);
+  std::printf("message reduction: %.1f%%   p50 drain ratio (on/off): %.3f\n",
+              reduction, p50_ratio);
+  report.add("wire_cost", {{"batching", 0.0},
+                           {"msgs_per_rmi", off.msgs_per_rmi},
+                           {"p50_burst_drain_us", off.p50_burst_drain_us}});
+  report.add("wire_cost", {{"batching", 1.0},
+                           {"msgs_per_rmi", on.msgs_per_rmi},
+                           {"p50_burst_drain_us", on.p50_burst_drain_us}});
+  report.add("wire_cost_summary",
+             {{"reduction_pct", reduction}, {"p50_ratio", p50_ratio}});
   return 0;
 }

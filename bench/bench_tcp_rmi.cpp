@@ -7,6 +7,7 @@
 // CRCs, and scheduler wakeups — the closest this reproduction gets to the
 // paper's Rotor-on-a-LAN measurement conditions. The reproduction target
 // is still the relative DGC overhead column, not absolute numbers.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -117,6 +118,142 @@ double run_series(int calls, bool dgc) {
   return ms;
 }
 
+/// Wire-cost series over TCP: messages and bytes one RMI costs with
+/// control-plane batching on vs off. Three nodes — client (0) invokes
+/// server (1) passing 10 references it holds into owner (2); each call runs
+/// 10 scion-first handshakes whose acks are the batchable stream. Calls are
+/// pipelined per burst so the owner's ack traffic actually coalesces.
+struct WireCost {
+  double msgs_per_rmi = 0;
+  double bytes_per_rmi = 0;
+  double p50_burst_ms = 0;
+};
+
+WireCost run_wire_series(int bursts, int burst_size, bool batching) {
+  const std::uint16_t p0 = reserve_port(), p1 = reserve_port(), p2 = reserve_port();
+  const std::map<ProcessId, PeerAddr> peers = {{0, {"127.0.0.1", p0}},
+                                               {1, {"127.0.0.1", p1}},
+                                               {2, {"127.0.0.1", p2}}};
+  auto opts = [&](ProcessId pid, std::uint16_t port) {
+    NodeRuntime::Options o;
+    o.pid = pid;
+    o.cfg = node_cfg(true, pid + 1);
+    o.cfg.proc.batching_enabled = batching;
+    o.listen = "127.0.0.1:" + std::to_string(port);
+    o.peers = peers;
+    return o;
+  };
+  NodeRuntime client(opts(0, p0)), server(opts(1, p1)), owner(opts(2, p2));
+  client.start();
+  server.start();
+  owner.start();
+
+  ObjectSeq server_obj = kNoObject;
+  server.post_sync([&](Process& p) {
+    server_obj = p.create_object();
+    p.add_root(server_obj);
+  });
+  ExportedRef call_target;
+  server.post_sync([&](Process& p) { call_target = p.export_own_object(server_obj, 0); });
+
+  std::vector<ExportedRef> exported(10);
+  owner.post_sync([&](Process& p) {
+    for (auto& er : exported) {
+      const ObjectSeq obj = p.create_object();
+      p.add_root(obj);
+      er = p.export_own_object(obj, 0);
+    }
+  });
+
+  ObjectSeq client_obj = kNoObject;
+  RefId call_ref = kNoRef;
+  std::vector<RefId> held(10);
+  client.post_sync([&](Process& p) {
+    client_obj = p.create_object();
+    p.add_root(client_obj);
+    call_ref = p.install_ref(client_obj, call_target);
+    for (std::size_t i = 0; i < exported.size(); ++i) {
+      held[i] = p.install_ref(client_obj, exported[i]);
+    }
+  });
+
+  const auto replies = [&] {
+    std::uint64_t n = 0;
+    client.post_sync([&](Process& p) { n = p.metrics().replies_received.get(); });
+    return n;
+  };
+  const auto wire_totals = [&](std::uint64_t* msgs, std::uint64_t* bytes) {
+    Metrics total;
+    total.merge(client.total_metrics());
+    total.merge(server.total_metrics());
+    total.merge(owner.total_metrics());
+    *msgs = total.messages_sent.get();
+    *bytes = total.bytes_sent.get();
+  };
+
+  // Warm the connections (and the handshake path) outside the window.
+  client.post_sync([&](Process& p) {
+    p.invoke(client_obj, call_ref, InvokeEffect::kTouch,
+             {ArgRef::held(held[0])});
+  });
+  {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (replies() < 1) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr, "bench_tcp_rmi: wire-cost warmup stalled\n");
+        client.stop(0);
+        server.stop(0);
+        owner.stop(0);
+        return {};
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  std::uint64_t msgs_before = 0, bytes_before = 0;
+  wire_totals(&msgs_before, &bytes_before);
+  std::uint64_t expected = replies();
+  std::vector<double> burst_ms;
+  burst_ms.reserve(static_cast<std::size_t>(bursts));
+  for (int b = 0; b < bursts; ++b) {
+    bench::Stopwatch sw;
+    client.post_sync([&](Process& p) {
+      for (int i = 0; i < burst_size; ++i) {
+        std::vector<ArgRef> args;
+        args.reserve(held.size());
+        for (const RefId r : held) args.push_back(ArgRef::held(r));
+        p.invoke(client_obj, call_ref, InvokeEffect::kTouch, std::move(args));
+      }
+    });
+    expected += static_cast<std::uint64_t>(burst_size);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (replies() < expected) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr, "bench_tcp_rmi: wire-cost burst %d stalled\n", b);
+        client.stop(0);
+        server.stop(0);
+        owner.stop(0);
+        return {};
+      }
+      std::this_thread::yield();
+    }
+    burst_ms.push_back(sw.ms());
+  }
+  std::uint64_t msgs_after = 0, bytes_after = 0;
+  wire_totals(&msgs_after, &bytes_after);
+  client.stop(0);
+  server.stop(0);
+  owner.stop(0);
+
+  const double calls = static_cast<double>(bursts) * burst_size;
+  WireCost out;
+  out.msgs_per_rmi = static_cast<double>(msgs_after - msgs_before) / calls;
+  out.bytes_per_rmi = static_cast<double>(bytes_after - bytes_before) / calls;
+  std::sort(burst_ms.begin(), burst_ms.end());
+  out.p50_burst_ms = burst_ms[burst_ms.size() / 2];
+  return out;
+}
+
 }  // namespace
 }  // namespace adgc
 
@@ -148,5 +285,41 @@ int main() {
                                   {"dgc_ms", dgc},
                                   {"overhead_pct", overhead}});
   }
+
+  bench::header(
+      "Extension — TCP transport messages & bytes per RMI, batching on/off\n"
+      "(pipelined bursts; each call re-exports 10 held references, the\n"
+      " owner's AddScion acks are the batchable stream)");
+  std::printf("%-10s %14s %14s %18s\n", "batching", "msgs/RMI", "bytes/RMI",
+              "p50 burst (ms)");
+  const int kBursts = 12, kBurstSize = 16;
+  const WireCost off = run_wire_series(kBursts, kBurstSize, false);
+  const WireCost on = run_wire_series(kBursts, kBurstSize, true);
+  if (off.msgs_per_rmi <= 0 || on.msgs_per_rmi <= 0) {
+    std::printf("wire-cost series FAILED\n");
+    return 1;
+  }
+  const double msg_reduction =
+      (off.msgs_per_rmi - on.msgs_per_rmi) / off.msgs_per_rmi * 100.0;
+  const double byte_reduction =
+      (off.bytes_per_rmi - on.bytes_per_rmi) / off.bytes_per_rmi * 100.0;
+  const double p50_ratio = on.p50_burst_ms / off.p50_burst_ms;
+  std::printf("%-10s %14.2f %14.0f %18.2f\n", "off", off.msgs_per_rmi,
+              off.bytes_per_rmi, off.p50_burst_ms);
+  std::printf("%-10s %14.2f %14.0f %18.2f\n", "on", on.msgs_per_rmi,
+              on.bytes_per_rmi, on.p50_burst_ms);
+  std::printf("message reduction: %.1f%%   byte reduction: %.1f%%   "
+              "p50 burst ratio (on/off): %.3f\n",
+              msg_reduction, byte_reduction, p50_ratio);
+  report.add("tcp_wire_cost", {{"batching", 0.0},
+                               {"msgs_per_rmi", off.msgs_per_rmi},
+                               {"bytes_per_rmi", off.bytes_per_rmi},
+                               {"p50_burst_ms", off.p50_burst_ms}});
+  report.add("tcp_wire_cost", {{"batching", 1.0},
+                               {"msgs_per_rmi", on.msgs_per_rmi},
+                               {"bytes_per_rmi", on.bytes_per_rmi},
+                               {"p50_burst_ms", on.p50_burst_ms}});
+  report.add("tcp_wire_cost_summary", {{"msg_reduction_pct", msg_reduction},
+                                       {"byte_reduction_pct", byte_reduction}});
   return 0;
 }

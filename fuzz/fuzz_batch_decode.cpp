@@ -1,0 +1,57 @@
+// libFuzzer harness over the batch codec: the nested-length decoder that
+// turns one coalesced wire payload back into individual control messages.
+// Contract under fuzzing: arbitrary bytes either decode to a BatchMsg whose
+// items ALL decode (and the whole thing re-encodes byte-identically), or the
+// first defect throws DecodeError and poisons the entire batch — a batch is
+// applied all-or-nothing, never partially. validate_batch_payload (the
+// frame-layer structural pre-check) must never accept a payload the full
+// decoder then rejects for structural reasons: anything it passes has inner
+// lengths that exactly tile the buffer.
+//
+// Interesting shapes the corpus seeds cover and the fuzzer mutates from:
+// truncated inner lengths, inner-kind confusion (an item whose first byte
+// lies about its tag), nested batches, and CRC-slice corruption carried in
+// from the frame layer.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/message.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::byte> bytes(reinterpret_cast<const std::byte*>(data), size);
+  const bool structurally_ok = adgc::validate_batch_payload(bytes);
+  try {
+    const adgc::MessagePayload m = adgc::decode_message(bytes);
+    if (const auto* batch = std::get_if<adgc::BatchMsg>(&m)) {
+      // Structural validation is a PRE-check of the same walk; a payload
+      // that decoded as a batch must have passed it.
+      if (!structurally_ok) __builtin_trap();
+      try {
+        const std::vector<adgc::MessagePayload> items =
+            adgc::decode_batch_items(*batch);
+        for (const adgc::MessagePayload& item : items) {
+          // No nesting may survive decode, and every item must re-encode.
+          if (std::holds_alternative<adgc::BatchMsg>(item)) __builtin_trap();
+          (void)adgc::encode_message(item);
+        }
+      } catch (const adgc::DecodeError&) {
+        // Item-level corruption: poisons the whole batch. Expected.
+      }
+      // The container itself always re-encodes to the input bytes.
+      const std::vector<std::byte> re = adgc::encode_message(m);
+      if (re.size() != bytes.size()) __builtin_trap();
+      for (std::size_t i = 0; i < re.size(); ++i) {
+        if (re[i] != bytes[i]) __builtin_trap();
+      }
+    }
+  } catch (const adgc::DecodeError&) {
+    // The expected outcome for almost all inputs. validate_batch_payload
+    // may still be true here: it checks structure only, not item contents
+    // (a structurally sound batch with a garbage item decodes as BatchMsg
+    // but its ITEMS fail) — nothing to assert.
+  }
+  return 0;
+}

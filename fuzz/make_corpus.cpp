@@ -160,6 +160,50 @@ int main(int argc, char** argv) {
     write_file(dir, "frame_bad_crc", frame_seed(0x0c, std::move(bad)));
   }
 
+  // Batch seeds: a healthy multi-kind batch, a singleton, and the defect
+  // shapes fuzz_batch_decode cares about (truncated inner length, item-kind
+  // confusion, nesting) plus a batch riding a TCP frame with and without a
+  // CRC-slice bit flip.
+  {
+    BatchMsg batch;
+    batch.items.push_back(encode_message(cdm));
+    batch.items.push_back(encode_message(nss));
+    batch.items.push_back(encode_message(ack));
+    write_file(dir, "batch_mixed", encode_message(batch));
+
+    BatchMsg one;
+    one.items.push_back(encode_message(ack));
+    write_file(dir, "batch_singleton", encode_message(one));
+
+    auto truncated = encode_message(batch);
+    truncated.resize(truncated.size() - 7);  // cuts into the last item
+    write_file(dir, "batch_truncated_item", truncated);
+
+    auto confused = encode_message(batch);
+    confused[9] = std::byte{0xEE};  // first item's tag byte: unknown kind
+    write_file(dir, "batch_kind_confusion", confused);
+
+    auto inflated = encode_message(batch);
+    inflated[5] = std::byte{0xff};  // first item's length: larger than buffer
+    inflated[6] = std::byte{0xff};
+    write_file(dir, "batch_bad_inner_length", inflated);
+
+    BatchMsg nested;
+    nested.items.push_back(encode_message(one));
+    write_file(dir, "batch_nested", encode_message(nested));
+
+    Envelope env;
+    env.src = 1;
+    env.dst = 2;
+    env.src_inc = 1;
+    env.dst_inc = kUnknownIncarnation;
+    env.bytes = encode_message(batch);
+    write_file(dir, "frame_batch", frame_seed(0x0c, encode_data_frame(env)));
+    auto bad = encode_data_frame(env);
+    bad[bad.size() / 2] ^= std::byte{0x10};
+    write_file(dir, "frame_batch_corrupt", frame_seed(0x0c, std::move(bad)));
+  }
+
   std::printf("corpus written to %s\n", dir.string().c_str());
   return 0;
 }

@@ -32,6 +32,13 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Takes ownership of `reuse` as the backing buffer (cleared, capacity
+  /// kept). Lets an arena hand out pre-sized buffers so a batch encode does
+  /// not pay incremental reallocation.
+  explicit ByteWriter(std::vector<std::byte> reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
   void u16(std::uint16_t v) { raw(&v, sizeof v); }
   void u32(std::uint32_t v) { raw(&v, sizeof v); }
@@ -62,6 +69,16 @@ class ByteWriter {
     const std::size_t old = buf_.size();
     buf_.resize(old + n);
     std::memcpy(buf_.data() + old, data, n);
+  }
+
+  /// Overwrites 4 already-written bytes at `offset` — back-patching for
+  /// length/count prefixes whose value is only known after the body is
+  /// serialized (the batch encoder's nested-length framing).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    if (offset + sizeof v > buf_.size()) {
+      throw std::logic_error("patch_u32 past end of buffer");
+    }
+    std::memcpy(buf_.data() + offset, &v, sizeof v);
   }
 
   std::size_t size() const { return buf_.size(); }
@@ -99,6 +116,16 @@ class ByteReader {
 
   std::string str();
   std::vector<std::byte> bytes();
+
+  /// Reads `n` raw bytes (no length prefix) — the counterpart of
+  /// ByteWriter::raw, used by the batch decoder to slice out nested items.
+  std::vector<std::byte> raw(std::size_t n) {
+    need(n);
+    std::vector<std::byte> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
 
   /// Number of bytes not yet consumed.
   std::size_t remaining() const { return buf_.size() - pos_; }

@@ -14,7 +14,13 @@ std::string RuntimeConfig::describe() const {
      << "us, quarantine=" << proc.candidate_quarantine_us
      << "us, dgc=" << (proc.dgc_enabled ? "on" : "off")
      << ", dcda=" << (proc.dcda_enabled ? "on" : "off")
-     << ", adaptive=" << (proc.adaptive_faults ? "on" : "off") << "} seed=" << seed;
+     << ", adaptive=" << (proc.adaptive_faults ? "on" : "off")
+     << ", batch=" << (proc.batching_enabled ? "on" : "off");
+  if (proc.batching_enabled) {
+    os << "(" << proc.batch_max_msgs << "msg/" << proc.batch_max_bytes << "B/"
+       << proc.batch_flush_us << "us)";
+  }
+  os << "} seed=" << seed;
   return os.str();
 }
 

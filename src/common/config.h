@@ -134,6 +134,21 @@ struct ProcessConfig {
   /// times out and is retried). 0 disables the cache.
   std::uint32_t cdm_dedup_cache_size = 4096;
 
+  // --- control-plane batching ---
+  /// Coalesce outbound control messages (CDMs, NewSetStubs, AddScion acks)
+  /// into per-peer batches: one Envelope / frame header / CRC / write() per
+  /// flush instead of per message. Invocations, replies and AddScion
+  /// requests are never batched; sending one of those to a peer first
+  /// flushes the peer's open batch so relative order is preserved.
+  bool batching_enabled = true;
+  /// Flush when a batch reaches this many messages...
+  std::uint32_t batch_max_msgs = 32;
+  /// ...or this many payload bytes (whichever comes first)...
+  std::uint32_t batch_max_bytes = 16'384;
+  /// ...or when the oldest queued message has waited this long. Bounds the
+  /// extra latency batching may add to any control message.
+  SimTime batch_flush_us = 200;
+
   // --- RMI ---
   /// Whether remote invocations send a reply message (replies also bump
   /// invocation counters, per the paper).

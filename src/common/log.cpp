@@ -11,7 +11,9 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
 std::mutex Log::mu_;
 
-void Log::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+void Log::set_level(LogLevel lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
 
 LogLevel Log::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
 

@@ -70,6 +70,21 @@ const std::vector<Field>& fields() {
       {"new_set_stubs_deferred", &Metrics::new_set_stubs_deferred},
       {"detections_deferred_backoff", &Metrics::detections_deferred_backoff},
       {"candidates_deprioritized", &Metrics::candidates_deprioritized},
+      {"batches_sent", &Metrics::batches_sent},
+      {"batch_singletons", &Metrics::batch_singletons},
+      {"batched_messages", &Metrics::batched_messages},
+      {"batch_flush_size", &Metrics::batch_flush_size},
+      {"batch_flush_count", &Metrics::batch_flush_count},
+      {"batch_flush_deadline", &Metrics::batch_flush_deadline},
+      {"batch_flush_priority", &Metrics::batch_flush_priority},
+      {"batch_flush_burst", &Metrics::batch_flush_burst},
+      {"batch_flush_drain", &Metrics::batch_flush_drain},
+      {"batch_bytes_saved", &Metrics::batch_bytes_saved},
+      {"batches_received", &Metrics::batches_received},
+      {"batch_messages_received", &Metrics::batch_messages_received},
+      {"batches_poisoned", &Metrics::batches_poisoned},
+      {"arena_acquires", &Metrics::arena_acquires},
+      {"arena_reuses", &Metrics::arena_reuses},
       {"tcp_connects", &Metrics::tcp_connects},
       {"tcp_accepts", &Metrics::tcp_accepts},
       {"tcp_disconnects", &Metrics::tcp_disconnects},

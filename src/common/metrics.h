@@ -102,6 +102,23 @@ struct Metrics {
   Counter detections_deferred_backoff;  // candidate skipped (relaunch backoff)
   Counter candidates_deprioritized;     // candidate ranked last (suspected first hop)
 
+  // Control-plane batching (per-peer coalescing of CDM / NSS / AddScionAck).
+  Counter batches_sent;              // flushes that put a real batch (>=2) on the wire
+  Counter batch_singletons;          // flushes degenerated to one plain message
+  Counter batched_messages;          // control messages that entered a batch
+  Counter batch_flush_size;          // flush reasons...
+  Counter batch_flush_count;
+  Counter batch_flush_deadline;
+  Counter batch_flush_priority;      // invoke/reply/AddScion to same peer forced it
+  Counter batch_flush_burst;         // end of a CDM scan/forward burst
+  Counter batch_flush_drain;         // shutdown/drain flush
+  Counter batch_bytes_saved;         // (n-1) * frame header per flushed batch
+  Counter batches_received;
+  Counter batch_messages_received;   // messages unpacked from received batches
+  Counter batches_poisoned;          // batch dropped whole: some item undecodable
+  Counter arena_acquires;            // batch buffers handed out by the arena
+  Counter arena_reuses;              // ...of which satisfied from the free list
+
   // TCP transport (real-socket deployment).
   Counter tcp_connects;          // outbound connect() attempts
   Counter tcp_accepts;           // inbound connections accepted

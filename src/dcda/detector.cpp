@@ -35,6 +35,7 @@ bool Detector::start_detection(RefId candidate, SimTime now) {
   alg.source.insert({candidate, scion->ic});
 
   const int sent = expand(base, *scion, delivered, std::move(alg));
+  if (sent > 0 && hooks_.cdm_burst_end) hooks_.cdm_burst_end();
   if (sent == 0) {
     // Every branch was locally reachable, duplicate or absent: detection
     // over before it started.
@@ -142,7 +143,8 @@ void Detector::on_cdm(const CdmMsg& msg, SimTime /*now*/) {
     metrics_.detections_aborted_ic.add();
     return;
   }
-  expand(msg, *scion, delivered, std::move(alg));
+  const int sent = expand(msg, *scion, delivered, std::move(alg));
+  if (sent > 0 && hooks_.cdm_burst_end) hooks_.cdm_burst_end();
 }
 
 int Detector::expand(const CdmMsg& base, const ScionSummary& scion, const Algebra& delivered,

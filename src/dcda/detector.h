@@ -46,6 +46,12 @@ class Detector {
     /// not only at the initiator.
     std::function<void(DetectionId id, RefId victim, std::uint64_t expected_ic)>
         cycle_found;
+    /// Called after a complete CDM fan-out (a detection launch or the
+    /// expansion of one delivered CDM) so the process can flush its
+    /// control-message batcher: CDMs emitted within one burst coalesce into
+    /// per-peer batches, but never wait out the batch deadline — batching
+    /// must not add per-hop detection latency. Optional.
+    std::function<void()> cdm_burst_end;
   };
 
   Detector(ProcessId pid, const ProcessConfig& cfg, Metrics& metrics, Hooks hooks);

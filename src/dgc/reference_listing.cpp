@@ -15,6 +15,17 @@ NewSetStubsMsg build_new_set_stubs(const StubTable& stubs, ProcessId owner,
   return msg;
 }
 
+std::map<ProcessId, NewSetStubsMsg> build_all_new_set_stubs(
+    const StubTable& stubs, const std::set<ProcessId>& contacts) {
+  std::map<ProcessId, NewSetStubsMsg> out;
+  for (ProcessId dst : contacts) out[dst];  // empty sets are meaningful
+  for (const auto& [ref, stub] : stubs) {
+    auto it = out.find(stub.target.owner);
+    if (it != out.end()) it->second.live.push_back(ref);
+  }
+  return out;
+}
+
 ApplyNssResult apply_new_set_stubs(ScionTable& scions, ProcessId holder,
                                    const NewSetStubsMsg& msg, SimTime now,
                                    SimTime pending_grace) {

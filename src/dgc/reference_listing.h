@@ -8,6 +8,7 @@
 // flight toward its future holder) are protected by a grace period.
 #pragma once
 
+#include <map>
 #include <set>
 
 #include "src/common/config.h"
@@ -22,6 +23,16 @@ namespace adgc {
 /// StubTable deletion already spares them, so they are simply present).
 NewSetStubsMsg build_new_set_stubs(const StubTable& stubs, ProcessId owner,
                                    std::uint64_t export_seq);
+
+/// Grouped build for the post-LGC fan-out: ONE pass over the stub table
+/// produces the NewSetStubs payload for every contact in `contacts`
+/// (including empty payloads for contacts with no surviving stubs — an
+/// empty set is meaningful: it deletes the peer's remaining scions).
+/// O(stubs + contacts) instead of build_new_set_stubs's O(stubs × contacts);
+/// `export_seq` is left 0 for the caller to stamp per destination. Stub
+/// order per destination matches the per-owner builder (table order).
+std::map<ProcessId, NewSetStubsMsg> build_all_new_set_stubs(
+    const StubTable& stubs, const std::set<ProcessId>& contacts);
 
 struct ApplyNssResult {
   bool stale = false;          // rejected: export_seq not newer than last seen

@@ -1,0 +1,127 @@
+#include "src/net/batcher.h"
+
+#include <utility>
+
+#include "src/net/frame.h"
+
+namespace adgc {
+
+namespace {
+
+constexpr std::size_t kBatchHeaderBytes = 5;   // u8 tag + u32 item count
+constexpr std::size_t kItemPrefixBytes = 4;    // u32 item length
+
+}  // namespace
+
+bool Batcher::batchable(const MessagePayload& msg) {
+  return std::holds_alternative<CdmMsg>(msg) ||
+         std::holds_alternative<NewSetStubsMsg>(msg) ||
+         std::holds_alternative<AddScionAckMsg>(msg);
+}
+
+bool Batcher::offer(ProcessId dst, const MessagePayload& msg) {
+  if (!cfg_.batching_enabled) return false;
+  if (!batchable(msg)) return false;
+
+  auto it = open_.find(dst);
+  if (it == open_.end()) {
+    OpenBatch b;
+    const std::uint64_t reuses_before = arena_.reuses();
+    b.w = ByteWriter(arena_.acquire());
+    env_.metrics().arena_acquires.add();
+    if (arena_.reuses() > reuses_before) env_.metrics().arena_reuses.add();
+    b.w.u8(static_cast<std::uint8_t>(MessageTag::kBatch));
+    b.w.u32(0);  // item count, patched at flush
+    b.epoch = next_epoch_++;
+    it = open_.emplace(dst, std::move(b)).first;
+    const std::uint64_t epoch = it->second.epoch;
+    env_.schedule(cfg_.batch_flush_us, [this, dst, epoch] {
+      auto cur = open_.find(dst);
+      if (cur != open_.end() && cur->second.epoch == epoch) {
+        flush_peer(dst, FlushReason::kDeadline);
+      }
+    });
+  }
+
+  OpenBatch& b = it->second;
+  const std::size_t len_offset = b.w.size();
+  b.w.u32(0);  // item length, patched below
+  const std::size_t body_start = b.w.size();
+  encode_message_into(b.w, msg);
+  b.w.patch_u32(len_offset, static_cast<std::uint32_t>(b.w.size() - body_start));
+  ++b.count;
+  b.has_cdm = b.has_cdm || std::holds_alternative<CdmMsg>(msg);
+  env_.metrics().batched_messages.add();
+
+  if (b.count >= cfg_.batch_max_msgs) {
+    flush_peer(dst, FlushReason::kCount);
+  } else if (b.w.size() >= cfg_.batch_max_bytes) {
+    flush_peer(dst, FlushReason::kSize);
+  }
+  return true;
+}
+
+void Batcher::note_reason(FlushReason reason) {
+  Metrics& m = env_.metrics();
+  switch (reason) {
+    case FlushReason::kSize: m.batch_flush_size.add(); break;
+    case FlushReason::kCount: m.batch_flush_count.add(); break;
+    case FlushReason::kDeadline: m.batch_flush_deadline.add(); break;
+    case FlushReason::kPriority: m.batch_flush_priority.add(); break;
+    case FlushReason::kBurst: m.batch_flush_burst.add(); break;
+    case FlushReason::kDrain: m.batch_flush_drain.add(); break;
+  }
+}
+
+void Batcher::flush_peer(ProcessId dst, FlushReason reason) {
+  auto it = open_.find(dst);
+  if (it == open_.end()) return;
+  OpenBatch b = std::move(it->second);
+  open_.erase(it);
+  note_reason(reason);
+
+  b.w.patch_u32(1, b.count);
+  std::vector<std::byte> bytes = b.w.take();
+  arena_.note_capacity(bytes.capacity());
+  if (b.count == 1) {
+    // A lone message gains nothing from batch framing; strip it back to a
+    // plain encoded payload (drop batch tag + count + the item's length
+    // prefix) so the wire never carries pointless overhead.
+    bytes.erase(bytes.begin(),
+                bytes.begin() + static_cast<std::ptrdiff_t>(kBatchHeaderBytes +
+                                                            kItemPrefixBytes));
+    env_.metrics().batch_singletons.add();
+  } else {
+    env_.metrics().batches_sent.add();
+    // Each coalesced message after the first rides without its own frame
+    // header (and Envelope/CRC/write); count the headers as the honest,
+    // transport-independent part of the saving.
+    env_.metrics().batch_bytes_saved.add(
+        static_cast<std::uint64_t>(b.count - 1) * kFrameHeaderSize);
+  }
+  env_.send_encoded(dst, std::move(bytes));
+}
+
+void Batcher::flush_all(FlushReason reason) {
+  while (!open_.empty()) {
+    flush_peer(open_.begin()->first, reason);
+  }
+}
+
+void Batcher::flush_cdm_batches(FlushReason reason) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    const ProcessId dst = it->first;
+    const bool has_cdm = it->second.has_cdm;
+    ++it;  // flush_peer erases; advance first
+    if (has_cdm) flush_peer(dst, reason);
+  }
+}
+
+void Batcher::discard_peer(ProcessId dst) {
+  auto it = open_.find(dst);
+  if (it == open_.end()) return;
+  arena_.release(it->second.w.take());
+  open_.erase(it);
+}
+
+}  // namespace adgc

@@ -40,7 +40,7 @@ std::vector<std::byte> encode_frame(const Frame& frame) {
 
 std::vector<std::byte> encode_data_frame(const Envelope& env) {
   Frame f;
-  f.kind = FrameKind::kData;
+  f.kind = is_batch_payload(env.bytes) ? FrameKind::kBatch : FrameKind::kData;
   f.src = env.src;
   f.dst = env.dst;
   f.src_inc = env.src_inc;
@@ -87,7 +87,8 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint16_t kind = load_u16(h + 6);
   if (kind != static_cast<std::uint16_t>(FrameKind::kHello) &&
-      kind != static_cast<std::uint16_t>(FrameKind::kData)) {
+      kind != static_cast<std::uint16_t>(FrameKind::kData) &&
+      kind != static_cast<std::uint16_t>(FrameKind::kBatch)) {
     error_ = Error::kBadKind;
     return std::nullopt;
   }
@@ -109,6 +110,13 @@ std::optional<Frame> FrameDecoder::next() {
     error_ = Error::kBadCrc;
     return std::nullopt;
   }
+  if (f.kind == FrameKind::kBatch && !validate_batch_payload(f.payload)) {
+    // The CRC matched but the nested lengths do not tile the payload: the
+    // sender is mis-framing batches. No prefix of the batch may be applied,
+    // and nothing after this point in the stream can be trusted either.
+    error_ = Error::kBadBatch;
+    return std::nullopt;
+  }
   consumed_ += kFrameHeaderSize + len;
   compact();
   return f;
@@ -122,6 +130,7 @@ std::string FrameDecoder::error_detail() const {
     case Error::kBadKind: return "unknown frame kind";
     case Error::kOversized: return "frame payload length over limit";
     case Error::kBadCrc: return "frame payload CRC mismatch";
+    case Error::kBadBatch: return "batch frame nested lengths inconsistent";
   }
   return "unknown frame error";
 }
@@ -136,6 +145,27 @@ bool is_cdm_payload(std::span<const std::byte> payload) {
 
 bool is_new_set_stubs_payload(std::span<const std::byte> payload) {
   return peek_message_tag(payload) == static_cast<std::uint8_t>(MessageTag::kNewSetStubs);
+}
+
+bool is_batch_payload(std::span<const std::byte> payload) {
+  return peek_message_tag(payload) == static_cast<std::uint8_t>(MessageTag::kBatch);
+}
+
+bool validate_batch_payload(std::span<const std::byte> payload) {
+  constexpr std::size_t kBatchHeader = 5;  // u8 tag + u32 item count
+  if (payload.size() < kBatchHeader || !is_batch_payload(payload)) return false;
+  const std::uint32_t count = load_u32(payload.data() + 1);
+  if (count == 0) return false;
+  std::size_t pos = kBatchHeader;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - pos < 4) return false;
+    const std::uint32_t len = load_u32(payload.data() + pos);
+    pos += 4;
+    if (len == 0 || len > payload.size() - pos) return false;
+    if (payload[pos] == static_cast<std::byte>(MessageTag::kBatch)) return false;
+    pos += len;
+  }
+  return pos == payload.size();
 }
 
 }  // namespace adgc

@@ -61,6 +61,12 @@ enum class FrameKind : std::uint16_t {
   kHello = 1,
   /// One Envelope: the payload is the encoded MessagePayload.
   kData = 2,
+  /// One Envelope whose payload is an encoded BatchMsg: several coalesced
+  /// control messages sharing this frame's header and CRC. The decoder
+  /// additionally walks the nested length structure up front, so a frame
+  /// that passed the CRC but has inconsistent inner lengths still poisons
+  /// the stream instead of surfacing garbage item slices downstream.
+  kBatch = 3,
 };
 
 /// A decoded frame header plus its payload.
@@ -92,6 +98,7 @@ class FrameDecoder {
     kBadKind,
     kOversized,
     kBadCrc,
+    kBadBatch,
   };
 
   /// Appends raw bytes from the stream.
@@ -127,5 +134,17 @@ std::uint8_t peek_message_tag(std::span<const std::byte> payload);
 /// sheddable kinds under the PR 2 priority rules.
 bool is_cdm_payload(std::span<const std::byte> payload);
 bool is_new_set_stubs_payload(std::span<const std::byte> payload);
+
+/// True when the encoded payload is a coalesced batch. Batch frames are
+/// never shed by the TCP write queue: a batch may carry AddScion acks,
+/// which sit above the shedding line.
+bool is_batch_payload(std::span<const std::byte> payload);
+
+/// Structural check of an encoded BatchMsg: batch tag, item count, and
+/// nested item lengths must tile the payload exactly, with no empty and no
+/// nested-batch items. Used by the frame decoder on kBatch frames and by
+/// the fuzz harness; message-level item decoding still happens later in
+/// Process::deliver.
+bool validate_batch_payload(std::span<const std::byte> payload);
 
 }  // namespace adgc

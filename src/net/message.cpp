@@ -148,6 +148,15 @@ struct Encoder {
     w.u8(static_cast<std::uint8_t>(Tag::kGtFinish));
     w.u64(m.epoch);
   }
+
+  void operator()(const BatchMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kBatch));
+    w.u32(static_cast<std::uint32_t>(m.items.size()));
+    for (const auto& item : m.items) {
+      w.u32(static_cast<std::uint32_t>(item.size()));
+      w.raw(item.data(), item.size());
+    }
+  }
 };
 
 }  // namespace
@@ -156,6 +165,10 @@ std::vector<std::byte> encode_message(const MessagePayload& m) {
   ByteWriter w;
   std::visit(Encoder{w}, m);
   return w.take();
+}
+
+void encode_message_into(ByteWriter& w, const MessagePayload& m) {
+  std::visit(Encoder{w}, m);
 }
 
 MessagePayload decode_message(std::span<const std::byte> bytes) {
@@ -282,8 +295,39 @@ MessagePayload decode_message(std::span<const std::byte> bytes) {
       r.expect_done();
       return m;
     }
+    case Tag::kBatch: {
+      BatchMsg m;
+      const std::uint32_t n = r.u32();
+      if (n == 0) throw DecodeError("empty batch");
+      // Each item costs at least its 4-byte length prefix plus a 1-byte tag.
+      if (n > r.remaining() / 5) throw DecodeError("batch item count too large");
+      m.items.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t len = r.u32();
+        if (len == 0) throw DecodeError("empty batch item");
+        if (len > r.remaining()) throw DecodeError("batch item length truncated");
+        std::vector<std::byte> item = r.raw(len);
+        if (item[0] == static_cast<std::byte>(Tag::kBatch)) {
+          throw DecodeError("nested batch");
+        }
+        m.items.push_back(std::move(item));
+      }
+      r.expect_done();
+      return m;
+    }
   }
   throw DecodeError("unknown message tag");
+}
+
+std::vector<MessagePayload> decode_batch_items(const BatchMsg& batch) {
+  std::vector<MessagePayload> out;
+  out.reserve(batch.items.size());
+  for (const auto& item : batch.items) {
+    MessagePayload m = decode_message(item);
+    if (std::holds_alternative<BatchMsg>(m)) throw DecodeError("nested batch");
+    out.push_back(std::move(m));
+  }
+  return out;
 }
 
 const char* message_kind(const MessagePayload& m) {
@@ -301,6 +345,7 @@ const char* message_kind(const MessagePayload& m) {
     const char* operator()(const GtPollMsg&) const { return "GtPoll"; }
     const char* operator()(const GtStatusMsg&) const { return "GtStatus"; }
     const char* operator()(const GtFinishMsg&) const { return "GtFinish"; }
+    const char* operator()(const BatchMsg&) const { return "Batch"; }
   };
   return std::visit(Kind{}, m);
 }

@@ -179,10 +179,22 @@ struct GtFinishMsg {
   friend bool operator==(const GtFinishMsg&, const GtFinishMsg&) = default;
 };
 
+/// A coalesced per-peer batch of control messages (CDMs, NewSetStubs,
+/// AddScion acks). Items are complete encoded MessagePayloads, each carried
+/// behind a u32 length prefix; a batch may never contain another batch.
+/// The whole batch shares one Envelope — one incarnation stamp pair, one
+/// frame header, one CRC, one write() — and is applied or dropped as a unit:
+/// any undecodable item poisons the entire batch (see decode_batch_items).
+struct BatchMsg {
+  std::vector<std::vector<std::byte>> items;
+
+  friend bool operator==(const BatchMsg&, const BatchMsg&) = default;
+};
+
 using MessagePayload =
     std::variant<InvokeMsg, ReplyMsg, NewSetStubsMsg, AddScionMsg, AddScionAckMsg,
                  CdmMsg, BacktraceRequestMsg, BacktraceReplyMsg, GtStartMsg, GtMarkMsg,
-                 GtPollMsg, GtStatusMsg, GtFinishMsg>;
+                 GtPollMsg, GtStatusMsg, GtFinishMsg, BatchMsg>;
 
 /// On-wire type tag: the first byte of encode_message() output. Exposed so
 /// transport-level code (the TCP write queue's priority shedding) can
@@ -201,6 +213,7 @@ enum class MessageTag : std::uint8_t {
   kGtPoll = 11,
   kGtStatus = 12,
   kGtFinish = 13,
+  kBatch = 14,
 };
 
 /// A message in flight.
@@ -224,8 +237,19 @@ struct Envelope {
 /// Encodes a payload (type tag + body).
 std::vector<std::byte> encode_message(const MessagePayload& m);
 
+/// Appends the encoding of `m` to an existing writer. The batch encoder uses
+/// this to serialize message bodies directly into one contiguous arena
+/// buffer instead of paying one allocation per queued message.
+void encode_message_into(ByteWriter& w, const MessagePayload& m);
+
 /// Decodes; throws DecodeError on malformed input.
 MessagePayload decode_message(std::span<const std::byte> bytes);
+
+/// Decodes every item of a batch. Throws DecodeError if ANY item is
+/// malformed or is itself a batch — the receiver must then drop the whole
+/// batch (batch-level poisoning: a batch is applied as a unit or not at
+/// all, so a corrupt slice can never apply a prefix of its messages).
+std::vector<MessagePayload> decode_batch_items(const BatchMsg& batch);
 
 /// Short human-readable tag for logging ("Invoke", "Cdm", ...).
 const char* message_kind(const MessagePayload& m);

@@ -28,8 +28,8 @@ bool SimNetwork::link_blocked(ProcessId a, ProcessId b) const {
 }
 
 SimTime SimNetwork::draw_latency(SimTime now, ProcessId src, ProcessId dst) {
-  SimTime lat = cfg_.min_latency_us +
-                static_cast<SimTime>(rng_.exponential(static_cast<double>(cfg_.mean_latency_us)));
+  const double mean = static_cast<double>(cfg_.mean_latency_us);
+  SimTime lat = cfg_.min_latency_us + static_cast<SimTime>(rng_.exponential(mean));
   SimTime when = now + lat;
   if (cfg_.fifo_links) {
     SimTime& mark = link_watermark_[link_key(src, dst)];

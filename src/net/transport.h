@@ -28,6 +28,15 @@ class Env {
   /// duplicated or reordered depending on the network configuration.
   virtual void send(ProcessId dst, const MessagePayload& msg) = 0;
 
+  /// Sends an already-encoded payload (the batcher's flush path: the batch
+  /// was serialized into one contiguous buffer, re-encoding it would defeat
+  /// the point). The default decodes and falls back to send() so bare-bones
+  /// Env implementations (test fakes) stay correct; the real runtimes
+  /// override it to move the buffer straight into the Envelope.
+  virtual void send_encoded(ProcessId dst, std::vector<std::byte> bytes) {
+    send(dst, decode_message(bytes));
+  }
+
   /// Runs `fn` on this process's execution context after `delay`.
   /// Timers fire at-least-once, in time order w.r.t. other local events.
   virtual void schedule(SimTime delay, std::function<void()> fn) = 0;

@@ -29,12 +29,16 @@ class NodeRuntime::NodeEnv final : public Env {
   SimTime now() const override { return steady_us(); }
 
   void send(ProcessId dst, const MessagePayload& msg) override {
+    send_encoded(dst, encode_message(msg));
+  }
+
+  void send_encoded(ProcessId dst, std::vector<std::byte> bytes) override {
     Envelope env;
     env.src = rt_.opts_.pid;
     env.dst = dst;
     env.src_inc = rt_.incarnation_;
     env.dst_inc = rt_.transport_->last_known_incarnation(dst);
-    env.bytes = encode_message(msg);
+    env.bytes = std::move(bytes);
     rt_.transport_->send(std::move(env));
   }
 
@@ -153,6 +157,9 @@ void NodeRuntime::stop(SimTime drain_us) {
   loop_stop_.store(true, std::memory_order_release);
   cv_.notify_all();
   if (loop_thread_.joinable()) loop_thread_.join();
+  // Loop thread is gone; hand any batched control messages to the transport
+  // so the drain below can put them on the wire.
+  if (proc_) proc_->flush_batches();
   if (transport_) transport_->stop(drain_us);
 }
 

@@ -33,8 +33,12 @@ Process::Process(ProcessId pid, const ProcessConfig& cfg, Env& env, Incarnation 
       summarizer_ = std::make_unique<BfsSummarizer>();
       break;
   }
+  batcher_ = std::make_unique<Batcher>(cfg_, env_);
   Detector::Hooks hooks;
   hooks.send_cdm = [this](ProcessId dst, const CdmMsg& msg) { send(dst, msg); };
+  hooks.cdm_burst_end = [this] {
+    batcher_->flush_cdm_batches(Batcher::FlushReason::kBurst);
+  };
   hooks.cycle_found = [this](DetectionId id, RefId candidate, std::uint64_t expected_ic) {
     on_cycle_found(id, candidate, expected_ic);
   };
@@ -98,6 +102,12 @@ void Process::send(ProcessId dst, const MessagePayload& msg) {
     }
   }
   peer_health_.on_send(dst, env_.now());
+  // Control-plane coalescing: batchable kinds (CDM, NewSetStubs,
+  // AddScionAck) queue into the peer's open batch; anything else is
+  // latency-critical and flushes that batch first, preserving the relative
+  // order of control vs. subsequent priority traffic on the link.
+  if (batcher_->offer(dst, msg)) return;
+  batcher_->flush_peer(dst, Batcher::FlushReason::kPriority);
   env_.send(dst, msg);
 }
 
@@ -337,7 +347,10 @@ void Process::deliver(const Envelope& envelope) {
                    << e.what());
     return;
   }
-  const ProcessId src = envelope.src;
+  dispatch(envelope.src, payload);
+}
+
+void Process::dispatch(ProcessId src, const MessagePayload& payload) {
   std::visit(
       [&](const auto& msg) {
         using T = std::decay_t<decltype(msg)>;
@@ -367,9 +380,33 @@ void Process::deliver(const Envelope& envelope) {
           gtrace_->on_status(src, msg);
         } else if constexpr (std::is_same_v<T, GtFinishMsg>) {
           gtrace_->on_finish(src, msg);
+        } else if constexpr (std::is_same_v<T, BatchMsg>) {
+          on_batch(src, msg);
         }
       },
       payload);
+}
+
+void Process::on_batch(ProcessId src, const BatchMsg& batch) {
+  metrics().batches_received.add();
+  // Unpack the whole batch BEFORE applying anything: if any item is
+  // malformed (or a nested batch), the entire batch is dropped — a corrupt
+  // slice must never apply a prefix of its messages.
+  std::vector<MessagePayload> items;
+  try {
+    items = decode_batch_items(batch);
+  } catch (const DecodeError& e) {
+    metrics().batches_poisoned.add();
+    ADGC_ERROR("P" << pid_ << " dropping poisoned batch from " << src << ": "
+                   << e.what());
+    return;
+  }
+  metrics().batch_messages_received.add(items.size());
+  for (const MessagePayload& m : items) dispatch(src, m);
+}
+
+void Process::flush_batches() {
+  batcher_->flush_all(Batcher::FlushReason::kDrain);
 }
 
 void Process::on_invoke(ProcessId src, const InvokeMsg& msg) {
@@ -545,6 +582,11 @@ void Process::run_lgc() {
   metrics().objects_reclaimed.add(res.objects_reclaimed);
   metrics().stubs_deleted.add(res.stubs_deleted);
   if (!cfg_.dgc_enabled) return;
+  // One stub-table pass builds the payload for every contact (the per-peer
+  // batcher then coalesces each NSS with whatever control traffic is already
+  // queued toward that peer).
+  std::map<ProcessId, NewSetStubsMsg> all_nss =
+      build_all_new_set_stubs(stubs_, contacts_);
   for (ProcessId dst : contacts_) {
     if (cfg_.adaptive_faults) {
       // Toward a suspected peer, space the periodic NSS re-sends out
@@ -569,8 +611,8 @@ void Process::run_lgc() {
     // The export sequence is epoch-stamped with the incarnation so the first
     // message after a restart (local counter back at 1) still sorts above
     // everything the lost incarnation sent.
-    NewSetStubsMsg msg =
-        build_new_set_stubs(stubs_, dst, incarnation_epoch(incarnation_, ++nss_seq_[dst]));
+    NewSetStubsMsg& msg = all_nss.at(dst);
+    msg.export_seq = incarnation_epoch(incarnation_, ++nss_seq_[dst]);
     metrics().new_set_stubs_sent.add();
     send(dst, msg);
   }
@@ -646,6 +688,10 @@ bool Process::recover_from_store() {
 }
 
 void Process::on_peer_crashed(ProcessId crashed) {
+  // An open batch toward the crashed peer holds control messages addressed
+  // to its dead incarnation; the delivery path would drop the envelope
+  // whole, so discard it here and save the wire bytes.
+  batcher_->discard_peer(crashed);
   if (cfg_.dcda_enabled) detector_->abort_for_crash(crashed, env_.now());
 }
 

@@ -35,6 +35,7 @@
 #include "src/dgc/reference_listing.h"
 #include "src/dgc/scion_table.h"
 #include "src/dgc/stub_table.h"
+#include "src/net/batcher.h"
 #include "src/net/peer_health.h"
 #include "src/net/transport.h"
 #include "src/rt/heap.h"
@@ -137,6 +138,10 @@ class Process {
   // ---------- message entry point ----------
   void deliver(const Envelope& env);
 
+  /// Flushes every open control-message batch (drain/shutdown path: queued
+  /// CDMs/NSS/acks must reach the wire before the transport stops).
+  void flush_batches();
+
   // ---------- introspection ----------
   Heap& heap() { return heap_; }
   const Heap& heap() const { return heap_; }
@@ -152,6 +157,8 @@ class Process {
   std::size_t pending_exports() const { return handshakes_.size(); }
   PeerHealthTracker& peer_health() { return peer_health_; }
   const PeerHealthTracker& peer_health() const { return peer_health_; }
+  Batcher& batcher() { return *batcher_; }
+  const Batcher& batcher() const { return *batcher_; }
 
  private:
   friend class BacktraceDetector;
@@ -192,6 +199,8 @@ class Process {
   void send(ProcessId dst, const MessagePayload& msg);
 
   // Message handlers.
+  void dispatch(ProcessId src, const MessagePayload& msg);
+  void on_batch(ProcessId src, const BatchMsg& msg);
   void on_invoke(ProcessId src, const InvokeMsg& msg);
   void on_reply(ProcessId src, const ReplyMsg& msg);
   void on_new_set_stubs(ProcessId src, const NewSetStubsMsg& msg);
@@ -241,6 +250,7 @@ class Process {
   std::map<std::uint64_t, PendingInvoke> pending_invokes_;
   std::map<std::uint64_t, Handshake> handshakes_;
   PeerHealthTracker peer_health_{cfg_, env_.metrics()};
+  std::unique_ptr<Batcher> batcher_;
   std::map<ProcessId, NssGate> nss_gates_;
   /// call_id → (callee, send time); RTT samples for replies. Bounded; calls
   /// whose reply never arrives age out by insertion order (ids ascend).

@@ -12,12 +12,16 @@ class Runtime::SimEnv final : public Env {
   SimTime now() const override { return rt_.now_; }
 
   void send(ProcessId dst, const MessagePayload& msg) override {
+    send_encoded(dst, encode_message(msg));
+  }
+
+  void send_encoded(ProcessId dst, std::vector<std::byte> bytes) override {
     Envelope env;
     env.src = pid_;
     env.dst = dst;
     env.src_inc = rt_.incarnations_[pid_];
     env.dst_inc = rt_.incarnations_[dst];
-    env.bytes = encode_message(msg);
+    env.bytes = std::move(bytes);
     rt_.network_->send(rt_.now_, std::move(env));
   }
 

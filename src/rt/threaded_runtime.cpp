@@ -26,10 +26,14 @@ class ThreadedRuntime::ThreadEnv final : public Env {
   SimTime now() const override { return steady_us(); }
 
   void send(ProcessId dst, const MessagePayload& msg) override {
+    send_encoded(dst, encode_message(msg));
+  }
+
+  void send_encoded(ProcessId dst, std::vector<std::byte> bytes) override {
     Envelope env;
     env.src = pid_;
     env.dst = dst;
-    env.bytes = encode_message(msg);
+    env.bytes = std::move(bytes);
     rt_.network_->send(std::move(env));
   }
 

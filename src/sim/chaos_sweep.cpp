@@ -36,6 +36,7 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepParams& p) {
   std::filesystem::remove_all(dir);  // stale state from an aborted run
 
   RuntimeConfig cfg = fast_config(p.seed);
+  cfg.proc.batching_enabled = p.batching;
   if (p.with_crashes) cfg.proc.snapshot_dir = dir.string();
 
   ChaosSweepResult res;

@@ -39,6 +39,10 @@ struct ChaosSweepParams {
   /// Crash/restart rotation during the storm.
   bool with_crashes = true;
   SimTime down_us = 50'000;
+  /// Control-plane batching (per-peer coalescing of CDMs / NewSetStubs /
+  /// AddScion acks). Both wire shapes must pass the same oracles; the
+  /// differential leg in test_chaos_sweep runs one seed each way.
+  bool batching = true;
   /// Fault-free settle after the storm; must exceed the largest detection
   /// backoff (`detection_backoff_cap_us`) so deferred candidates re-launch.
   SimTime settle_us = 12'000'000;

@@ -50,6 +50,27 @@ TEST(ChaosSweep, NightlyExtraSeeds) {
   }
 }
 
+// Batching changes the wire shape of the whole control plane (CDMs,
+// NewSetStubs and AddScion acks ride in per-peer batch frames that are
+// dropped whole on corruption or stale incarnations). The degradation
+// oracles must hold in both wire shapes; one seed each way keeps the
+// differential cheap — the TenSeeds sweep above already runs the
+// default-on shape across ten seeds.
+TEST(ChaosSweep, DegradationOraclesHoldWithAndWithoutBatching) {
+  for (const bool batching : {true, false}) {
+    sim::ChaosSweepParams p;
+    p.seed = 3;
+    p.batching = batching;
+    const sim::ChaosSweepResult res = sim::run_chaos_sweep(p);
+    EXPECT_FALSE(res.live_lost)
+        << "SAFETY batching=" << batching << ": " << res.detail;
+    EXPECT_TRUE(res.cycles_collected)
+        << "COMPLETENESS batching=" << batching << ": " << res.detail;
+    EXPECT_EQ(res.crashes, res.recovered) << "batching=" << batching;
+    EXPECT_GT(res.messages_lost, 0u) << "batching=" << batching;
+  }
+}
+
 class BackoffComparisonTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BackoffComparisonTest, AdaptiveSendsFewerRetries) {

@@ -141,6 +141,7 @@ TEST(CrashRestart, StaleIncarnationNssCannotDeleteResurrectedState) {
   // state that never happened; applying it would strand the restored stub.
   rt.proc(0).remove_remote_ref(lr.holder_obj.seq, lr.ref);
   rt.proc(0).run_lgc();
+  rt.proc(0).flush_batches();  // NSS leaves the NIC before the crash lands
   rt.crash(0);
   EXPECT_TRUE(rt.restart(0));
   EXPECT_TRUE(rt.proc(0).stubs().contains(lr.ref));  // rollback resurrected it

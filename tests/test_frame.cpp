@@ -211,6 +211,91 @@ TEST(FrameCodec, PeekTagClassifiesWithoutDecoding) {
   EXPECT_EQ(peek_message_tag({}), 0u);
 }
 
+std::vector<std::byte> sample_batch_payload() {
+  BatchMsg batch;
+  batch.items.push_back(encode_message(MessagePayload{AddScionAckMsg{make_ref_id(1, 1), 9}}));
+  batch.items.push_back(encode_message(MessagePayload{NewSetStubsMsg{3, {make_ref_id(0, 4)}}}));
+  return encode_message(MessagePayload{batch});
+}
+
+TEST(FrameCodec, BatchFrameRoundTrip) {
+  Envelope env;
+  env.src = 1;
+  env.dst = 2;
+  env.bytes = sample_batch_payload();
+  ASSERT_TRUE(is_batch_payload(env.bytes));
+  // encode_data_frame must classify the payload as a batch frame.
+  const Frame got = decode_one(encode_data_frame(env));
+  EXPECT_EQ(got.kind, FrameKind::kBatch);
+  EXPECT_EQ(got.payload, env.bytes);
+  const MessagePayload msg = decode_message(got.payload);
+  EXPECT_STREQ(message_kind(msg), "Batch");
+  EXPECT_EQ(decode_batch_items(std::get<BatchMsg>(msg)).size(), 2u);
+}
+
+TEST(FrameCodec, NonBatchPayloadStaysDataFrame) {
+  Envelope env;
+  env.src = 1;
+  env.dst = 2;
+  env.bytes = encode_message(MessagePayload{ReplyMsg{make_ref_id(2, 1), 1, 5}});
+  EXPECT_FALSE(is_batch_payload(env.bytes));
+  const Frame got = decode_one(encode_data_frame(env));
+  EXPECT_EQ(got.kind, FrameKind::kData);
+}
+
+TEST(FrameCodec, BatchPayloadValidation) {
+  auto good = sample_batch_payload();
+  EXPECT_TRUE(validate_batch_payload(good));
+  EXPECT_FALSE(validate_batch_payload({})) << "empty payload";
+  EXPECT_FALSE(validate_batch_payload({good.data(), 4})) << "shorter than header";
+  // Zero item count.
+  auto zero = good;
+  zero[1] = zero[2] = zero[3] = zero[4] = std::byte{0};
+  EXPECT_FALSE(validate_batch_payload(zero));
+  // Truncated mid-item: the nested lengths no longer tile the payload.
+  EXPECT_FALSE(validate_batch_payload({good.data(), good.size() - 3}));
+  // Trailing garbage past the last item.
+  auto trailing = good;
+  trailing.push_back(std::byte{0});
+  EXPECT_FALSE(validate_batch_payload(trailing));
+}
+
+TEST(FrameCodec, CorruptInnerLengthPoisonsBatchFrame) {
+  // The frame CRC covers the payload, so a plain bit flip is caught there.
+  // To test the structural check we corrupt the inner length FIRST and then
+  // frame it — a malicious/buggy sender producing a self-consistent frame
+  // whose nested lengths lie must still be refused, as kBadBatch.
+  auto payload = sample_batch_payload();
+  payload[5] = std::byte{0xff};  // first item's length: absurdly large
+  payload[6] = std::byte{0xff};
+  Envelope env;
+  env.src = 1;
+  env.dst = 2;
+  env.bytes = payload;
+  FrameDecoder dec;
+  dec.feed(encode_data_frame(env));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadBatch);
+  EXPECT_NE(dec.error_detail(), "");
+  // Poisoned: the stream is dead even for subsequent healthy frames.
+  dec.feed(encode_hello_frame(1, 0));
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameCodec, BatchFrameCrcStillChecked) {
+  Envelope env;
+  env.src = 1;
+  env.dst = 2;
+  env.bytes = sample_batch_payload();
+  auto bytes = encode_data_frame(env);
+  bytes.back() ^= std::byte{0x01};
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadCrc);
+}
+
 TEST(Crc32, MatchesKnownVectors) {
   // The standard IEEE 802.3 check value: CRC-32("123456789") = 0xCBF43926.
   const char* s = "123456789";

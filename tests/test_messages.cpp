@@ -171,6 +171,88 @@ TEST(Messages, KindNames) {
   EXPECT_STREQ(message_kind(MessagePayload{InvokeMsg{}}), "Invoke");
   EXPECT_STREQ(message_kind(MessagePayload{CdmMsg{}}), "Cdm");
   EXPECT_STREQ(message_kind(MessagePayload{NewSetStubsMsg{}}), "NewSetStubs");
+  EXPECT_STREQ(message_kind(MessagePayload{BatchMsg{}}), "Batch");
+}
+
+BatchMsg sample_batch() {
+  CdmMsg cdm;
+  cdm.detection = DetectionId{3, 9};
+  cdm.candidate = make_ref_id(3, 1);
+  NewSetStubsMsg nss;
+  nss.export_seq = 5;
+  nss.live = {make_ref_id(0, 1), make_ref_id(0, 2)};
+  AddScionAckMsg ack;
+  ack.ref = make_ref_id(4, 4);
+  ack.handshake = 77;
+  BatchMsg batch;
+  batch.items.push_back(encode_message(MessagePayload{cdm}));
+  batch.items.push_back(encode_message(MessagePayload{nss}));
+  batch.items.push_back(encode_message(MessagePayload{ack}));
+  return batch;
+}
+
+TEST(Messages, BatchRoundTrip) {
+  const BatchMsg batch = sample_batch();
+  EXPECT_EQ(round_trip(batch), batch);
+  const auto items = decode_batch_items(batch);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_STREQ(message_kind(items[0]), "Cdm");
+  EXPECT_STREQ(message_kind(items[1]), "NewSetStubs");
+  EXPECT_STREQ(message_kind(items[2]), "AddScionAck");
+  EXPECT_EQ(std::get<AddScionAckMsg>(items[2]).handshake, 77u);
+}
+
+TEST(Messages, EmptyBatchRejected) {
+  // tag + count=0: a batch must carry at least one item.
+  std::vector<std::byte> bytes = {std::byte{14}, std::byte{0}, std::byte{0},
+                                  std::byte{0}, std::byte{0}};
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(Messages, BatchTruncationRejected) {
+  const auto bytes = encode_message(MessagePayload{sample_batch()});
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 5) {
+    std::vector<std::byte> trunc(bytes.begin(),
+                                 bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_message(trunc), DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(Messages, BatchHugeCountRejected) {
+  // Item count far beyond what the remaining bytes could hold must be
+  // refused up front, before any per-item allocation.
+  auto bytes = encode_message(MessagePayload{sample_batch()});
+  bytes[1] = std::byte{0xff};
+  bytes[2] = std::byte{0xff};
+  bytes[3] = std::byte{0xff};
+  bytes[4] = std::byte{0x7f};
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(Messages, NestedBatchRejected) {
+  BatchMsg inner;
+  inner.items.push_back(encode_message(MessagePayload{ReplyMsg{}}));
+  BatchMsg outer;
+  outer.items.push_back(encode_message(MessagePayload{inner}));
+  const auto bytes = encode_message(MessagePayload{outer});
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+  // decode_batch_items applies the same rule when handed a hand-built batch.
+  EXPECT_THROW(decode_batch_items(outer), DecodeError);
+}
+
+TEST(Messages, BatchEmptyItemRejected) {
+  // tag + count=1 + item length 0.
+  std::vector<std::byte> bytes = {std::byte{14}, std::byte{1}, std::byte{0},
+                                  std::byte{0},  std::byte{0}, std::byte{0},
+                                  std::byte{0},  std::byte{0}, std::byte{0}};
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(Messages, BatchItemGarbagePoisonsWholeBatch) {
+  BatchMsg batch = sample_batch();
+  batch.items[1][0] = std::byte{0xEE};  // unknown tag inside item 1
+  EXPECT_THROW(decode_batch_items(batch), DecodeError)
+      << "a corrupt item must poison the whole batch, not skip it";
 }
 
 }  // namespace

@@ -50,13 +50,19 @@ TEST(Threaded, AcyclicCollectionUnderConcurrency) {
     a = p.create_object();
     p.add_root(a);
   });
-  rt.post_sync(1, [&](Process& p) { b = p.create_object(); });
+  // b is temporarily rooted until the export pins it with a scion — the
+  // free-running LGC may otherwise sweep it between the two post_syncs.
+  rt.post_sync(1, [&](Process& p) {
+    b = p.create_object();
+    p.add_root(b);
+  });
 
   // Export b to a (two-step through the actors).
   ExportedRef er;
   rt.post_sync(1, [&](Process& p) { er = p.export_own_object(b, 0); });
   RefId ref = kNoRef;
   rt.post_sync(0, [&](Process& p) { ref = p.install_ref(a, er); });
+  rt.post_sync(1, [&](Process& p) { p.remove_root(b); });
 
   sleep_ms(150);
   bool b_alive = false;

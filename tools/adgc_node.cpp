@@ -59,6 +59,8 @@ struct Options {
   // Collector tuning (wall-clock ms; defaults fit a localhost cluster).
   SimTime lgc_ms = 25, snapshot_ms = 60, dcda_ms = 80, quarantine_ms = 50;
   SimTime detect_timeout_ms = 2000;
+  bool batching = true;
+  SimTime batch_flush_us = 0;  // 0 = keep the config default
   bool verbose = false;
 };
 
@@ -81,8 +83,16 @@ bool parse_flag(const char* arg, const char* name, std::string* value) {
                "          [--plant-ring=NODES:OBJS] [--drop-root-after-ms=T]\n"
                "          [--crash-at-ms=T] [--status-every-ms=T]\n"
                "          [--lgc-ms=T] [--snapshot-ms=T] [--dcda-ms=T]\n"
-               "          [--quarantine-ms=T] [--detect-timeout-ms=T] [--verbose]\n",
-               argv0);
+               "          [--quarantine-ms=T] [--detect-timeout-ms=T]\n"
+               "          [--no-batching] [--batch-flush-us=T] [--verbose]\n"
+               "\n"
+               "  --no-batching      one transport message per control message\n"
+               "                     instead of per-peer batch frames\n"
+               "  --batch-flush-us=T batch flush deadline (wall-clock us): the most\n"
+               "                     latency batching may add to a control message\n"
+               "                     (default %llu)\n",
+               argv0,
+               static_cast<unsigned long long>(ProcessConfig{}.batch_flush_us));
   std::exit(code);
 }
 
@@ -147,6 +157,11 @@ Options parse(int argc, char** argv) {
       opt.quarantine_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--detect-timeout-ms", &v)) {
       opt.detect_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--no-batching", &v)) {
+      opt.batching = false;
+    } else if (parse_flag(argv[i], "--batch-flush-us", &v)) {
+      opt.batch_flush_us = std::strtoull(v.c_str(), nullptr, 10);
+      if (opt.batch_flush_us == 0) usage(argv[0], 2);
     } else if (parse_flag(argv[i], "--verbose", &v)) {
       opt.verbose = true;
     } else {
@@ -216,6 +231,8 @@ int main(int argc, char** argv) {
   nopts.cfg.proc.dcda_scan_period_us = opt.dcda_ms * 1000;
   nopts.cfg.proc.candidate_quarantine_us = opt.quarantine_ms * 1000;
   nopts.cfg.proc.detection_timeout_us = opt.detect_timeout_ms * 1000;
+  nopts.cfg.proc.batching_enabled = opt.batching;
+  if (opt.batch_flush_us > 0) nopts.cfg.proc.batch_flush_us = opt.batch_flush_us;
   // Keep the per-candidate relaunch backoff short relative to the harness
   // timeout: a detection aborted by a peer crash must retry briskly.
   nopts.cfg.proc.detection_backoff_cap_us = 1'000'000;

@@ -50,6 +50,8 @@ struct Options {
   bool dcda = true;
   bool rmi_edges = false;
   int crash_every = 0;  // 0 = no fault injection
+  bool batching = true;
+  SimTime batch_flush_us = 0;  // 0 = keep the config default
   bool chaos = false;
   bool compare_backoff = false;
   bool verbose = false;
@@ -71,8 +73,9 @@ void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s [--procs=N] [--seed=S] [--loss=P] [--dup=P] [--steps=K]\n"
                "          [--rounds=R] [--settle-ms=T] [--summarizer=bfs|scc]\n"
-               "          [--no-dcda] [--rmi-edges] [--crash-every=R] [--verbose]\n"
-               "       %s --chaos [--seed=S] [--loss=P] [--dup=P]\n"
+               "          [--no-dcda] [--rmi-edges] [--crash-every=R]\n"
+               "          [--no-batching] [--batch-flush-us=T] [--verbose]\n"
+               "       %s --chaos [--seed=S] [--loss=P] [--dup=P] [--no-batching]\n"
                "       %s --compare-backoff [--seed=S] [--loss=P]\n"
                "       %s --help\n",
                argv0, argv0, argv0, argv0);
@@ -86,7 +89,7 @@ void print_usage(std::FILE* out, const char* argv0) {
 
 [[noreturn]] void help(const char* argv0) {
   print_usage(stdout, argv0);
-  std::fputs(
+  std::printf(
       "\n"
       "Runs a randomized distributed mutator workload on the simulated runtime\n"
       "with the full collector stack, then reports convergence and protocol\n"
@@ -108,6 +111,12 @@ void print_usage(std::FILE* out, const char* argv0) {
       "  --crash-every=R   crash+restart a rotating victim every R rounds, with\n"
       "                    persistent snapshots so restarts recover; the shadow\n"
       "                    oracle is resynced to the rolled-back state (default off)\n"
+      "  --no-batching     send every control message (CDM, NewSetStubs, AddScion\n"
+      "                    ack) as its own transport message instead of coalescing\n"
+      "                    per-peer batch frames (default: batching on)\n"
+      "  --batch-flush-us=T  batch flush deadline in simulated microseconds -- the\n"
+      "                    most latency batching may add to a control message\n"
+      "                    (default %llu); ignored under --no-batching\n"
       "  --verbose         per-round progress and info-level logs\n"
       "\n"
       "alternate modes (exclusive with the workload flags above):\n"
@@ -121,7 +130,7 @@ void print_usage(std::FILE* out, const char* argv0) {
       "\n"
       "Unknown flags are an error (exit 2). For the real-TCP multi-process\n"
       "driver see adgc_node and cluster_harness (docs/DEPLOY.md).\n",
-      stdout);
+      static_cast<unsigned long long>(ProcessConfig{}.batch_flush_us));
   std::exit(0);
 }
 
@@ -155,6 +164,11 @@ Options parse(int argc, char** argv) {
       opt.dcda = false;
     } else if (parse_flag(argv[i], "--crash-every", &v)) {
       opt.crash_every = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--no-batching", &v)) {
+      opt.batching = false;
+    } else if (parse_flag(argv[i], "--batch-flush-us", &v)) {
+      opt.batch_flush_us = std::strtoull(v.c_str(), nullptr, 10);
+      if (opt.batch_flush_us == 0) usage(argv[0]);
     } else if (parse_flag(argv[i], "--rmi-edges", &v)) {
       opt.rmi_edges = true;
     } else if (parse_flag(argv[i], "--chaos", &v)) {
@@ -187,11 +201,14 @@ int main(int argc, char** argv) {
   if (opt.chaos) {
     sim::ChaosSweepParams cp;
     cp.seed = opt.seed;
+    cp.batching = opt.batching;
     if (opt.loss > 0) cp.loss_probability = opt.loss;
     if (opt.dup > 0) cp.duplicate_probability = opt.dup;
-    std::printf("chaos sweep: seed=%llu loss=%.2f dup=%.2f slices=%zu crashes=%s\n",
-                static_cast<unsigned long long>(cp.seed), cp.loss_probability,
-                cp.duplicate_probability, cp.slices, cp.with_crashes ? "on" : "off");
+    std::printf(
+        "chaos sweep: seed=%llu loss=%.2f dup=%.2f slices=%zu crashes=%s batching=%s\n",
+        static_cast<unsigned long long>(cp.seed), cp.loss_probability,
+        cp.duplicate_probability, cp.slices, cp.with_crashes ? "on" : "off",
+        cp.batching ? "on" : "off");
     const sim::ChaosSweepResult res = sim::run_chaos_sweep(cp);
     std::printf("  crashes=%zu recovered=%zu messages_lost=%llu\n", res.crashes,
                 res.recovered, static_cast<unsigned long long>(res.messages_lost));
@@ -231,6 +248,8 @@ int main(int argc, char** argv) {
   cfg.net.loss_probability = opt.loss;
   cfg.net.duplicate_probability = opt.dup;
   cfg.proc.dcda_enabled = opt.dcda;
+  cfg.proc.batching_enabled = opt.batching;
+  if (opt.batch_flush_us > 0) cfg.proc.batch_flush_us = opt.batch_flush_us;
   cfg.proc.summarizer = opt.use_scc ? ProcessConfig::SummarizerKind::kScc
                                     : ProcessConfig::SummarizerKind::kBfs;
   std::filesystem::path crash_dir;
