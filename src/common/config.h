@@ -30,6 +30,11 @@ struct NetworkConfig {
 /// Per-process collector scheduling and DCDA policy.
 struct ProcessConfig {
   // --- acyclic DGC ---
+  /// Arms the periodic LGC/snapshot/scan timers at start(). The model
+  /// checker disables this entirely: its Explorer schedules every collector
+  /// run as an explicit decision, and even a parked timer would jump the
+  /// clock (and thus every grace/expiry guard) when executed.
+  bool periodic_collectors_enabled = true;
   /// Period between local GC runs (each run also emits NewSetStubs).
   SimTime lgc_period_us = 20'000;
   /// AddScion handshake retry interval (message-loss tolerance).
@@ -127,6 +132,14 @@ struct ProcessConfig {
   /// analyzes unmatched counters in the algebra it is about to send").
   /// Not required for safety; pure latency/traffic saving.
   bool early_ic_check = true;
+  /// TEST-ONLY planted bug (model-checker self-test): treat every invocation
+  /// counter as zero inside the DCDA, disabling rule 3, the algebra IC-match
+  /// abort and the last-moment scion revalidation — i.e. run the detector as
+  /// if the paper's counter protection did not exist. UNSAFE by design: with
+  /// this on, the Fig. 2 mutator race produces a false cycle, which is
+  /// exactly what the model checker's safety oracle must catch. Never enable
+  /// outside the planted-bug self-test.
+  bool dcda_unsafe_ignore_ic = false;
   /// Bounded best-effort cache of recently processed CDMs (by content hash).
   /// Duplicate CDMs — which arise combinatorially on densely mutually-linked
   /// cycles, since the same algebra can be reached along many branch

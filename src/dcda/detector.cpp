@@ -23,6 +23,7 @@ bool Detector::start_detection(RefId candidate, SimTime now) {
 
   const DetectionId id = manager_.begin(candidate, now, cfg_.detection_timeout_us);
   metrics_.detections_started.add();
+  if (detection_started_) detection_started_(id, candidate);
 
   CdmMsg base;
   base.detection = id;
@@ -32,7 +33,7 @@ bool Detector::start_detection(RefId candidate, SimTime now) {
   // Alg_0 = {{candidate} → {}} — the candidate scion is the first dependency.
   Algebra delivered;  // nothing delivered yet: empty baseline
   Algebra alg;
-  alg.source.insert({candidate, scion->ic});
+  alg.source.insert({candidate, eff_ic(scion->ic)});
 
   const int sent = expand(base, *scion, delivered, std::move(alg));
   if (sent > 0 && hooks_.cdm_burst_end) hooks_.cdm_burst_end();
@@ -78,7 +79,22 @@ bool Detector::seen_recently(const CdmMsg& msg) {
   return false;
 }
 
-void Detector::on_cdm(const CdmMsg& msg, SimTime /*now*/) {
+void Detector::on_cdm(const CdmMsg& msg, SimTime now) {
+  if (cfg_.dcda_unsafe_ignore_ic) {
+    // Planted bug: erase every invocation counter before processing, so
+    // rule 3, the match conflict and the early check all trivially pass —
+    // the detector behaves as if the paper's counter protection were absent.
+    CdmMsg stripped = msg;
+    stripped.via_ic = 0;
+    for (AlgebraElem& e : stripped.source) e.ic = 0;
+    for (AlgebraElem& e : stripped.target) e.ic = 0;
+    on_cdm_impl(stripped, now);
+    return;
+  }
+  on_cdm_impl(msg, now);
+}
+
+void Detector::on_cdm_impl(const CdmMsg& msg, SimTime /*now*/) {
   metrics_.cdms_received.add();
   if (!snap_) {
     metrics_.detections_dropped_no_scion.add();
@@ -98,7 +114,7 @@ void Detector::on_cdm(const CdmMsg& msg, SimTime /*now*/) {
   // Rule 3: pairwise snapshot consistency — the sender-snapshot stub IC must
   // equal our snapshot scion IC, else an invocation crossed this reference
   // between the two snapshots.
-  if (scion->ic != msg.via_ic) {
+  if (eff_ic(scion->ic) != msg.via_ic) {
     metrics_.detections_aborted_ic.add();
     ADGC_DEBUG("P" << pid_ << " aborts (via IC) " << describe(msg));
     return;
@@ -139,7 +155,7 @@ void Detector::on_cdm(const CdmMsg& msg, SimTime /*now*/) {
 
   // Proceed with CDM-Graph construction: fold our snapshot in.
   const Algebra delivered = alg;
-  if (alg.source.insert({scion->ref, scion->ic}) == AlgebraSet::Insert::kConflict) {
+  if (alg.source.insert({scion->ref, eff_ic(scion->ic)}) == AlgebraSet::Insert::kConflict) {
     metrics_.detections_aborted_ic.add();
     return;
   }
@@ -166,13 +182,14 @@ int Detector::expand(const CdmMsg& base, const ScionSummary& scion, const Algebr
     for (RefId dep : stub->scions_to) {
       const ScionSummary* dep_scion = snap_->scion(dep);
       if (!dep_scion) continue;
-      if (derived.source.insert({dep, dep_scion->ic}) == AlgebraSet::Insert::kConflict) {
+      if (derived.source.insert({dep, eff_ic(dep_scion->ic)}) ==
+          AlgebraSet::Insert::kConflict) {
         conflict = true;
         break;
       }
     }
-    if (!conflict &&
-        derived.target.insert({stub_ref, stub->ic}) == AlgebraSet::Insert::kConflict) {
+    if (!conflict && derived.target.insert({stub_ref, eff_ic(stub->ic)}) ==
+                         AlgebraSet::Insert::kConflict) {
       conflict = true;
     }
     if (conflict) {
@@ -195,7 +212,7 @@ int Detector::expand(const CdmMsg& base, const ScionSummary& scion, const Algebr
     }
     CdmMsg out = base;
     out.via = stub_ref;
-    out.via_ic = stub->ic;
+    out.via_ic = eff_ic(stub->ic);
     out.hops = base.hops + 1;
     algebra_to_msg(derived, out);
     metrics_.cdms_sent.add();

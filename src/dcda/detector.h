@@ -85,7 +85,24 @@ class Detector {
   DetectionManager& manager() { return manager_; }
   const DetectionManager& manager() const { return manager_; }
 
+  /// Observer called right after a detection launches (model checker /
+  /// instrumentation; optional, independent of the wiring Hooks).
+  void set_detection_started(std::function<void(DetectionId, RefId)> fn) {
+    detection_started_ = std::move(fn);
+  }
+  /// Oracle accessor: detections this process currently has in flight.
+  std::size_t detections_in_flight() const { return manager_.in_flight(); }
+
  private:
+  void on_cdm_impl(const CdmMsg& msg, SimTime now);
+
+  /// The invocation counter as the detector sees it. Under the test-only
+  /// `dcda_unsafe_ignore_ic` planted bug every counter collapses to zero,
+  /// which disables all IC-based race protection at once.
+  std::uint64_t eff_ic(std::uint64_t ic) const {
+    return cfg_.dcda_unsafe_ignore_ic ? 0 : ic;
+  }
+
   /// Follows every viable stub out of `scion`, deriving and sending CDMs.
   /// `delivered` is the algebra as it arrived (dup-check baseline); `alg`
   /// additionally contains the arrival scion. Returns #CDMs sent.
@@ -100,6 +117,7 @@ class Detector {
   const ProcessConfig& cfg_;
   Metrics& metrics_;
   Hooks hooks_;
+  std::function<void(DetectionId, RefId)> detection_started_;
   DetectionManager manager_;
   std::shared_ptr<const SummarizedGraph> snap_;
   std::unordered_set<std::uint64_t> seen_;

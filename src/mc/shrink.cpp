@@ -1,0 +1,50 @@
+#include "src/mc/shrink.h"
+
+#include <algorithm>
+
+namespace adgc::mc {
+
+namespace {
+Trace without_range(const Trace& t, std::size_t begin, std::size_t end) {
+  Trace out = t;
+  out.decisions.erase(out.decisions.begin() + static_cast<std::ptrdiff_t>(begin),
+                      out.decisions.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+}  // namespace
+
+Trace shrink_trace(const Trace& failing,
+                   const std::function<bool(const Trace&)>& still_fails,
+                   std::size_t max_attempts, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+
+  Trace cur = failing;
+  std::size_t granularity = 2;
+  while (cur.decisions.size() >= 2 && st.attempts < max_attempts) {
+    const std::size_t size = cur.decisions.size();
+    const std::size_t chunk = std::max<std::size_t>(1, (size + granularity - 1) / granularity);
+    bool reduced = false;
+    for (std::size_t begin = 0; begin < size && st.attempts < max_attempts;
+         begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, size);
+      if (end - begin == size) continue;  // never try the empty trace
+      Trace candidate = without_range(cur, begin, end);
+      ++st.attempts;
+      if (still_fails(candidate)) {
+        cur = std::move(candidate);
+        ++st.reductions;
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;  // sizes shifted: restart the scan on the smaller trace
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;  // 1-minimal
+      granularity = std::min(granularity * 2, cur.decisions.size());
+    }
+  }
+  return cur;
+}
+
+}  // namespace adgc::mc

@@ -1,0 +1,30 @@
+// Counterexample shrinking: ddmin over decision traces.
+//
+// A violating trace found by search usually carries dozens of irrelevant
+// decisions (deliveries and collector runs that do not participate in the
+// bug). Delta debugging removes chunks of decreasing size, re-running the
+// schedule through ReplayStrategy after each removal and keeping any
+// reduction that still fails — converging on a 1-minimal trace where
+// removing any single decision makes the violation disappear.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/mc/trace.h"
+
+namespace adgc::mc {
+
+struct ShrinkStats {
+  std::size_t attempts = 0;    // candidate traces re-executed
+  std::size_t reductions = 0;  // candidates that kept failing
+};
+
+/// Shrinks `failing` with respect to `still_fails` (typically: replay the
+/// candidate and check it still reports a violation). `still_fails(failing)`
+/// is assumed true. Stops at 1-minimality or after `max_attempts` replays.
+Trace shrink_trace(const Trace& failing,
+                   const std::function<bool(const Trace&)>& still_fails,
+                   std::size_t max_attempts = 2000, ShrinkStats* stats = nullptr);
+
+}  // namespace adgc::mc

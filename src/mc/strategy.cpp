@@ -1,0 +1,131 @@
+#include "src/mc/strategy.h"
+
+#include <algorithm>
+
+namespace adgc::mc {
+
+// ---------------------------------------------------------------- DFS
+
+bool DfsStrategy::begin_schedule() {
+  cursor_ = 0;
+  if (first_) {
+    first_ = false;
+    return true;
+  }
+  // Odometer advance: bump the deepest node that still has an untried
+  // alternative (and, under a delay bound, budget to pay for it).
+  while (!path_.empty()) {
+    Node& n = path_.back();
+    if (n.chosen + 1 < n.num && cost_ + 1 <= delay_bound_) {
+      ++n.chosen;
+      ++cost_;
+      return true;
+    }
+    cost_ -= n.chosen;
+    path_.pop_back();
+  }
+  exhausted_ = true;
+  return false;
+}
+
+std::size_t DfsStrategy::pick(const std::vector<Decision>& choices, std::size_t) {
+  if (choices.empty()) return kStopSchedule;
+  if (cursor_ < path_.size()) {
+    // Replaying the prefix that leads to the node being advanced. The choice
+    // count is identical on a deterministic re-execution; clamp defensively.
+    Node& n = path_[cursor_++];
+    n.num = choices.size();
+    if (n.chosen >= n.num) n.chosen = n.num - 1;
+    return n.chosen;
+  }
+  // Fresh depth: take the default (index 0, cost 0) and remember the fanout.
+  path_.push_back({0, choices.size()});
+  ++cursor_;
+  return 0;
+}
+
+void DfsStrategy::end_schedule(std::size_t) {
+  // A schedule may end shallower than the previous one (fewer enabled
+  // choices); drop the stale deeper suffix or the odometer would advance
+  // nodes that were never reached this time.
+  for (std::size_t i = cursor_; i < path_.size(); ++i) cost_ -= path_[i].chosen;
+  path_.resize(cursor_);
+}
+
+// ---------------------------------------------------------------- PCT
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t decision_key(const Decision& d) {
+  std::uint64_t k = static_cast<std::uint64_t>(d.kind);
+  k = splitmix64(k ^ (static_cast<std::uint64_t>(d.a) << 32 | d.b));
+  return splitmix64(k ^ d.c);
+}
+}  // namespace
+
+PctStrategy::PctStrategy(std::uint64_t seed, std::uint32_t change_points,
+                         std::uint32_t max_steps)
+    : seed_(seed), change_points_(change_points), max_steps_(max_steps) {}
+
+bool PctStrategy::begin_schedule() {
+  salt_ = splitmix64(seed_ ^ (schedule_ * 0xd1342543de82ef95ULL));
+  ++schedule_;
+  bumps_ = 0;
+  change_steps_.clear();
+  for (std::uint32_t i = 0; i < change_points_ && max_steps_ > 0; ++i) {
+    change_steps_.push_back(static_cast<std::uint32_t>(
+        splitmix64(salt_ ^ (0xc0ffee00ULL + i)) % max_steps_));
+  }
+  std::sort(change_steps_.begin(), change_steps_.end());
+  return true;  // the Explorer's schedule/time budgets bound the search
+}
+
+std::size_t PctStrategy::pick(const std::vector<Decision>& choices, std::size_t step) {
+  if (choices.empty()) return kStopSchedule;
+  bumps_ += static_cast<std::uint32_t>(
+      std::count(change_steps_.begin(), change_steps_.end(), step));
+  const std::uint64_t round_salt = splitmix64(salt_ ^ (0x51ed270bULL * (bumps_ + 1)));
+  std::size_t best = 0;
+  std::uint64_t best_prio = 0;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    const std::uint64_t prio = splitmix64(round_salt ^ decision_key(choices[i]));
+    if (i == 0 || prio > best_prio) {
+      best = i;
+      best_prio = prio;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- replay
+
+bool ReplayStrategy::begin_schedule() {
+  if (ran_) return false;
+  ran_ = true;
+  pos_ = 0;
+  matched_ = 0;
+  return true;
+}
+
+std::size_t ReplayStrategy::pick(const std::vector<Decision>& choices, std::size_t) {
+  while (pos_ < trace_.decisions.size()) {
+    const Decision& want = trace_.decisions[pos_];
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (choices[i] == want) {
+        ++pos_;
+        ++matched_;
+        return i;
+      }
+    }
+    ++pos_;  // entry not enabled here (removed by shrinking): skip it
+  }
+  return kStopSchedule;
+}
+
+}  // namespace adgc::mc

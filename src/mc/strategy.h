@@ -1,0 +1,116 @@
+// Schedule strategies: who decides at each choice point.
+//
+// The Explorer enumerates the enabled decisions at every step and asks the
+// strategy to pick one. Strategies are stateful across schedules:
+//   * DfsStrategy      — exhaustive depth-first enumeration of the bounded
+//                        schedule tree, optionally delay-bounded (the sum of
+//                        picked indices measures how far a schedule deviates
+//                        from the default order);
+//   * PctStrategy      — probabilistic concurrency testing: deterministic
+//                        hash priorities over decision classes with d
+//                        priority-change points per schedule;
+//   * ReplayStrategy   — replays a recorded trace by decision class,
+//                        skipping entries whose event no longer exists (so
+//                        shrunk traces still steer the run).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mc/trace.h"
+
+namespace adgc::mc {
+
+/// pick() sentinel: end the current schedule here.
+inline constexpr std::size_t kStopSchedule = static_cast<std::size_t>(-1);
+
+class ScheduleStrategy {
+ public:
+  virtual ~ScheduleStrategy() = default;
+
+  /// Prepares for one more schedule. Returns false when the strategy has
+  /// exhausted its search space (the Explorer stops).
+  virtual bool begin_schedule() = 0;
+  /// Picks an index into `choices` (non-empty), or kStopSchedule.
+  virtual std::size_t pick(const std::vector<Decision>& choices, std::size_t step) = 0;
+  /// Called after each schedule with the number of decisions actually taken.
+  virtual void end_schedule(std::size_t steps) { (void)steps; }
+};
+
+/// Exhaustive bounded DFS over the schedule tree. Each path node remembers
+/// (chosen index, number of alternatives); begin_schedule advances the
+/// deepest incrementable node like an odometer, and the replayed prefix
+/// re-picks the recorded indices. With `delay_bound` set, only schedules
+/// whose total deviation from the default order (sum of chosen indices) is
+/// within the bound are generated — the classic delay-bounded search.
+class DfsStrategy final : public ScheduleStrategy {
+ public:
+  explicit DfsStrategy(std::size_t delay_bound = static_cast<std::size_t>(-1))
+      : delay_bound_(delay_bound) {}
+
+  bool begin_schedule() override;
+  std::size_t pick(const std::vector<Decision>& choices, std::size_t step) override;
+  void end_schedule(std::size_t steps) override;
+
+  /// True once begin_schedule has returned false: the bounded tree is fully
+  /// enumerated (every schedule within the bounds was run).
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  struct Node {
+    std::size_t chosen = 0;
+    std::size_t num = 0;
+  };
+  std::vector<Node> path_;
+  std::size_t cursor_ = 0;
+  std::size_t cost_ = 0;  // sum of chosen indices along path_
+  std::size_t delay_bound_;
+  bool first_ = true;
+  bool exhausted_ = false;
+};
+
+/// PCT-style randomized search: every decision class gets a deterministic
+/// hash priority; the highest-priority enabled decision wins. Each schedule
+/// re-derives the priority salt from (seed, schedule index), and `change_points`
+/// pre-drawn steps per schedule re-randomize the salt mid-run — the
+/// priority-change points that let PCT hit bugs of depth d+1.
+class PctStrategy final : public ScheduleStrategy {
+ public:
+  PctStrategy(std::uint64_t seed, std::uint32_t change_points, std::uint32_t max_steps);
+
+  bool begin_schedule() override;
+  std::size_t pick(const std::vector<Decision>& choices, std::size_t step) override;
+
+ private:
+  std::uint64_t seed_;
+  std::uint32_t change_points_;
+  std::uint32_t max_steps_;
+  std::uint64_t schedule_ = 0;
+  std::uint64_t salt_ = 0;
+  std::uint32_t bumps_ = 0;
+  std::vector<std::uint32_t> change_steps_;
+};
+
+/// Replays a recorded trace: at each step the next unconsumed trace entry is
+/// matched against the enabled choices by decision class; entries that match
+/// nothing are skipped (shrinking removes decisions, which shifts what is
+/// enabled downstream). Runs exactly one schedule; stops when the trace is
+/// exhausted.
+class ReplayStrategy final : public ScheduleStrategy {
+ public:
+  explicit ReplayStrategy(Trace trace) : trace_(std::move(trace)) {}
+
+  bool begin_schedule() override;
+  std::size_t pick(const std::vector<Decision>& choices, std::size_t step) override;
+
+  /// Trace entries actually applied (diagnostics).
+  std::size_t matched() const { return matched_; }
+
+ private:
+  Trace trace_;
+  std::size_t pos_ = 0;
+  std::size_t matched_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace adgc::mc

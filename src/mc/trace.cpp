@@ -1,0 +1,133 @@
+#include "src/mc/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace adgc::mc {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4D435452;  // 'MCTR'
+constexpr std::uint16_t kVersion = 1;
+// Traces are decision lists of at most a few hundred entries; anything much
+// larger is a corrupt count prefix, not a real trace.
+constexpr std::uint32_t kMaxDecisions = 1u << 20;
+
+const char* kind_name(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::kDeliver: return "deliver";
+    case DecisionKind::kDrop: return "drop";
+    case DecisionKind::kLgc: return "lgc";
+    case DecisionKind::kSnapshot: return "snapshot";
+    case DecisionKind::kScan: return "scan";
+    case DecisionKind::kCrash: return "crash";
+    case DecisionKind::kRestart: return "restart";
+    case DecisionKind::kScript: return "script";
+  }
+  return "?";
+}
+}  // namespace
+
+std::vector<std::byte> encode_trace(const Trace& t) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.str(t.scenario);
+  w.u64(t.seed);
+  w.u32(t.max_steps);
+  w.boolean(t.unsafe_no_ic);
+  w.str(t.note);
+  w.u32(static_cast<std::uint32_t>(t.decisions.size()));
+  for (const Decision& d : t.decisions) {
+    w.u8(static_cast<std::uint8_t>(d.kind));
+    w.u32(d.a);
+    w.u32(d.b);
+    w.u32(d.c);
+  }
+  return w.take();
+}
+
+Trace decode_trace(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kMagic) throw DecodeError("trace: bad magic");
+  if (r.u16() != kVersion) throw DecodeError("trace: unsupported version");
+  Trace t;
+  t.scenario = r.str();
+  t.seed = r.u64();
+  t.max_steps = r.u32();
+  t.unsafe_no_ic = r.boolean();
+  t.note = r.str();
+  const std::uint32_t count = r.u32();
+  if (count > kMaxDecisions) throw DecodeError("trace: absurd decision count");
+  t.decisions.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Decision d;
+    const std::uint8_t kind = r.u8();
+    if (kind < 1 || kind > 8) throw DecodeError("trace: bad decision kind");
+    d.kind = static_cast<DecisionKind>(kind);
+    d.a = r.u32();
+    d.b = r.u32();
+    d.c = r.u32();
+    t.decisions.push_back(d);
+  }
+  r.expect_done();
+  return t;
+}
+
+bool save_trace(const Trace& t, const std::string& path) {
+  const std::vector<std::byte> bytes = encode_trace(t);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  try {
+    return decode_trace(std::as_bytes(std::span<const char>(raw)));
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::string describe(const Decision& d) {
+  std::ostringstream os;
+  os << kind_name(d.kind);
+  switch (d.kind) {
+    case DecisionKind::kDeliver:
+    case DecisionKind::kDrop:
+      if (d.a == kTimerSrc) {
+        os << " timer@P" << d.b;
+      } else {
+        os << " P" << d.a << "->P" << d.b << " tag=" << d.c;
+      }
+      break;
+    case DecisionKind::kScript:
+      os << " step " << d.a;
+      break;
+    default:
+      os << " P" << d.a;
+      break;
+  }
+  return os.str();
+}
+
+std::string describe(const Trace& t) {
+  std::ostringstream os;
+  os << "trace scenario=" << t.scenario << " seed=" << t.seed
+     << " max_steps=" << t.max_steps
+     << (t.unsafe_no_ic ? " unsafe_no_ic" : "") << " decisions="
+     << t.decisions.size() << "\n";
+  if (!t.note.empty()) os << "  note: " << t.note << "\n";
+  for (std::size_t i = 0; i < t.decisions.size(); ++i) {
+    os << "  [" << i << "] " << describe(t.decisions[i]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace adgc::mc

@@ -1,0 +1,72 @@
+// Decision traces: the compact record of one explored schedule.
+//
+// A schedule is fully determined by the ordered list of decisions the
+// Explorer took at each choice point, so a trace plus the (deterministic)
+// scenario/seed reproduces the run bit-for-bit. Decisions are recorded as
+// *classes* — (kind, src, dst, tag) for deliveries, (kind, pid) for
+// collector actions — rather than raw event ids, so a trace still replays
+// after shrinking shifts the absolute event numbering.
+//
+// Binary format (versioned, little-endian, via common/bytes):
+//   u32 magic 'MCTR' | u16 version | str scenario | u64 seed |
+//   u32 max_steps | u8 unsafe_no_ic | str note | u32 count |
+//   count × (u8 kind, u32 a, u32 b, u32 c)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace adgc::mc {
+
+enum class DecisionKind : std::uint8_t {
+  kDeliver = 1,   // execute a pending event: a=src (0xffffffff: timer), b=dst, c=tag
+  kDrop = 2,      // discard a pending message (loss): same keying as kDeliver
+  kLgc = 3,       // run the local GC of process a
+  kSnapshot = 4,  // take + summarize a snapshot at process a
+  kScan = 5,      // run the DCDA candidate scan at process a
+  kCrash = 6,     // crash process a
+  kRestart = 7,   // restart process a
+  kScript = 8,    // apply scripted mutator step a
+};
+
+/// Sentinel `src` for timer events in kDeliver/kDrop decisions.
+inline constexpr std::uint32_t kTimerSrc = 0xffffffffu;
+
+struct Decision {
+  DecisionKind kind = DecisionKind::kDeliver;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+
+  friend bool operator==(const Decision&, const Decision&) = default;
+};
+
+struct Trace {
+  std::string scenario;       // scenario name the trace was recorded on
+  std::uint64_t seed = 1;     // runtime seed (determinism anchor)
+  std::uint32_t max_steps = 0;
+  bool unsafe_no_ic = false;  // planted-bug knob state at record time
+  std::string note;           // free-form provenance ("found by dfs, shrunk ...")
+  std::vector<Decision> decisions;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+std::vector<std::byte> encode_trace(const Trace& t);
+/// Throws DecodeError on malformed/truncated/wrong-version input.
+Trace decode_trace(std::span<const std::byte> bytes);
+
+/// Returns false on I/O failure.
+bool save_trace(const Trace& t, const std::string& path);
+/// Empty optional on I/O or decode failure.
+std::optional<Trace> load_trace(const std::string& path);
+
+std::string describe(const Decision& d);
+std::string describe(const Trace& t);  // multi-line human-readable dump
+
+}  // namespace adgc::mc

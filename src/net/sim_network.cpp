@@ -27,10 +27,7 @@ bool SimNetwork::link_blocked(ProcessId a, ProcessId b) const {
   return blocked_.contains({a, b});
 }
 
-SimTime SimNetwork::draw_latency(SimTime now, ProcessId src, ProcessId dst) {
-  const double mean = static_cast<double>(cfg_.mean_latency_us);
-  SimTime lat = cfg_.min_latency_us + static_cast<SimTime>(rng_.exponential(mean));
-  SimTime when = now + lat;
+SimTime SimNetwork::apply_fifo(SimTime when, ProcessId src, ProcessId dst) {
   if (cfg_.fifo_links) {
     SimTime& mark = link_watermark_[link_key(src, dst)];
     when = std::max(when, mark + 1);
@@ -39,10 +36,34 @@ SimTime SimNetwork::draw_latency(SimTime now, ProcessId src, ProcessId dst) {
   return when;
 }
 
+SimTime SimNetwork::draw_latency(SimTime now, ProcessId src, ProcessId dst) {
+  const double mean = static_cast<double>(cfg_.mean_latency_us);
+  SimTime lat = cfg_.min_latency_us + static_cast<SimTime>(rng_.exponential(mean));
+  return apply_fifo(now + lat, src, dst);
+}
+
 void SimNetwork::send(SimTime now, Envelope env) {
   if (metrics_) {
     metrics_->messages_sent.add();
     metrics_->bytes_sent.add(env.bytes.size());
+  }
+  if (fate_hook_) {
+    // The model checker owns every nondeterministic draw; the RNG is not
+    // consulted at all, so the schedule alone determines the run.
+    const Fate fate = fate_hook_(env);
+    if (link_blocked(env.src, env.dst) || fate.lose) {
+      if (metrics_) metrics_->messages_lost.add();
+      ADGC_TRACE("net: dropped " << env.src << "->" << env.dst);
+      return;
+    }
+    const SimTime when = apply_fifo(now + fate.latency_us, env.src, env.dst);
+    if (fate.duplicate) {
+      if (metrics_) metrics_->messages_duplicated.add();
+      const SimTime when2 = apply_fifo(now + fate.latency_us, env.src, env.dst);
+      deliver_(when2, env);  // copy
+    }
+    deliver_(when, std::move(env));
+    return;
   }
   if (link_blocked(env.src, env.dst) || rng_.chance(cfg_.loss_probability)) {
     if (metrics_) metrics_->messages_lost.add();

@@ -28,6 +28,20 @@ class SimNetwork {
   /// Injects a message at absolute time `now`.
   void send(SimTime now, Envelope env);
 
+  /// Externally decided fate of one message — what the RNG normally draws.
+  struct Fate {
+    bool lose = false;
+    bool duplicate = false;
+    SimTime latency_us = 0;  // one-way latency of the primary copy
+  };
+  using FateHook = std::function<Fate(const Envelope&)>;
+
+  /// Model-checking hook: when set, the hook (not the RNG) decides loss,
+  /// duplication and latency for every message, making the network a pure
+  /// function of the hook's answers. Link blocks still apply; FIFO
+  /// watermarks still order the chosen latencies when fifo_links is on.
+  void set_fate_hook(FateHook hook) { fate_hook_ = std::move(hook); }
+
   // --- dynamic fault injection (tests/benches flip these mid-run) ---
   void set_loss_probability(double p) { cfg_.loss_probability = p; }
   void set_duplicate_probability(double p) { cfg_.duplicate_probability = p; }
@@ -40,9 +54,11 @@ class SimNetwork {
 
  private:
   SimTime draw_latency(SimTime now, ProcessId src, ProcessId dst);
+  SimTime apply_fifo(SimTime when, ProcessId src, ProcessId dst);
 
   NetworkConfig cfg_;
   Rng rng_;
+  FateHook fate_hook_;
   Scheduler deliver_;
   Metrics* metrics_;
   std::set<std::pair<ProcessId, ProcessId>> blocked_;

@@ -55,6 +55,7 @@ Process::~Process() = default;
 void Process::start() {
   if (started_) return;
   started_ = true;
+  if (!cfg_.periodic_collectors_enabled) return;
   // De-phase the periodic tasks across processes (deterministically).
   env_.schedule(env_.rng().below(cfg_.lgc_period_us) + 1, [this] { lgc_tick(); });
   env_.schedule(env_.rng().below(cfg_.snapshot_period_us) + 1, [this] { snapshot_tick(); });
@@ -493,6 +494,11 @@ void Process::on_new_set_stubs(ProcessId src, const NewSetStubsMsg& msg) {
   metrics().new_set_stubs_received.add();
   const ApplyNssResult res =
       apply_new_set_stubs(scions_, src, msg, env_.now(), cfg_.scion_pending_grace_us);
+  if (res.deleted > 0 || res.stale) {
+    ADGC_DEBUG("P" << pid_ << " NSS from P" << src << " seq=" << msg.export_seq
+                   << " live=" << msg.live.size() << " deleted=" << res.deleted
+                   << (res.stale ? " STALE" : ""));
+  }
   metrics().scions_deleted_acyclic.add(res.deleted);
 }
 
@@ -537,9 +543,10 @@ void Process::on_cycle_found(DetectionId id, RefId candidate, std::uint64_t expe
   detector_->finish(id);
   ScionEntry* scion = scions_.find(candidate);
   if (!scion) return;  // already collected (e.g. parallel detection)
-  if (scion->ic != expected_ic) {
-    // Last-moment revalidation: the mutator used the reference since the
-    // snapshot the detection was based on.
+  // Last-moment revalidation: the mutator used the reference since the
+  // snapshot the detection was based on. (Disabled — along with every other
+  // IC comparison — by the model checker's planted-bug knob.)
+  if (!cfg_.dcda_unsafe_ignore_ic && scion->ic != expected_ic) {
     metrics().detections_aborted_ic.add();
     return;
   }
@@ -572,7 +579,8 @@ void Process::run_lgc() {
       }
     }
     for (RefId ref : orphans) {
-      ADGC_DEBUG("P" << pid_ << " expiring orphan pending scion " << ref_to_string(ref));
+      ADGC_DEBUG("P" << pid_ << " expiring orphan pending scion " << ref_to_string(ref)
+                     << " now=" << env_.now() << " expiry=" << expiry);
       scions_.erase(ref);
       metrics().scions_deleted_acyclic.add();
     }

@@ -81,11 +81,99 @@ bool Runtime::restart(ProcessId pid) {
 Runtime::~Runtime() = default;
 
 void Runtime::push_at(SimTime when, std::variant<Envelope, TimerEvent> what) {
-  queue_.push(Event{when, next_event_seq_++, std::move(what)});
+  if (explicit_) {
+    list_.push_back(Event{when, next_event_seq_++, std::move(what)});
+  } else {
+    queue_.push(Event{when, next_event_seq_++, std::move(what)});
+  }
+}
+
+void Runtime::enable_explicit_schedule() {
+  if (explicit_) return;
+  explicit_ = true;
+  // Migrate whatever the ordered scheduler already holds (the periodic
+  // collector timers armed by start()) into the explicit pending list.
+  while (!queue_.empty()) {
+    list_.push_back(queue_.top());
+    queue_.pop();
+  }
+}
+
+std::vector<Runtime::PendingInfo> Runtime::pending_infos() const {
+  std::vector<PendingInfo> out;
+  out.reserve(list_.size());
+  for (const Event& ev : list_) {
+    PendingInfo info;
+    info.id = ev.seq;
+    info.when = ev.when;
+    if (const auto* env = std::get_if<Envelope>(&ev.what)) {
+      info.is_message = true;
+      info.src = env->src;
+      info.dst = env->dst;
+      info.tag = env->bytes.empty() ? 0 : static_cast<std::uint8_t>(env->bytes[0]);
+    } else {
+      info.dst = std::get<TimerEvent>(ev.what).owner;
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+bool Runtime::execute_event(std::uint64_t id) {
+  for (auto it = list_.begin(); it != list_.end(); ++it) {
+    if (it->seq != id) continue;
+    Event ev = std::move(*it);
+    list_.erase(it);
+    execute(std::move(ev));
+    return true;
+  }
+  return false;
+}
+
+bool Runtime::drop_event(std::uint64_t id) {
+  for (auto it = list_.begin(); it != list_.end(); ++it) {
+    if (it->seq != id) continue;
+    if (std::holds_alternative<Envelope>(it->what)) net_metrics_.messages_lost.add();
+    list_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool Runtime::event_stale(const Event& ev) const {
+  if (const auto* env = std::get_if<Envelope>(&ev.what)) {
+    return !alive(env->dst) || env->src_inc != incarnations_[env->src] ||
+           env->dst_inc != incarnations_[env->dst];
+  }
+  const TimerEvent& timer = std::get<TimerEvent>(ev.what);
+  return !alive(timer.owner) || timer.inc != incarnations_[timer.owner];
+}
+
+std::size_t Runtime::prune_stale_events() {
+  std::size_t removed = 0;
+  for (auto it = list_.begin(); it != list_.end();) {
+    if (!event_stale(*it)) {
+      ++it;
+      continue;
+    }
+    if (const auto* env = std::get_if<Envelope>(&it->what)) {
+      if (!alive(env->dst)) {
+        net_metrics_.messages_dropped_crashed.add();
+      } else {
+        net_metrics_.messages_stale_incarnation.add();
+      }
+    }
+    it = list_.erase(it);
+    ++removed;
+  }
+  return removed;
 }
 
 void Runtime::execute(Event&& ev) {
-  now_ = ev.when;
+  // max(): the explicit scheduler may fire events out of timestamp order;
+  // logical time never runs backwards. (The ordered scheduler pops in
+  // nondecreasing `when`, so there this is the plain assignment it was.)
+  now_ = std::max(now_, ev.when);
   if (auto* env = std::get_if<Envelope>(&ev.what)) {
     if (!alive(env->dst)) {
       net_metrics_.messages_dropped_crashed.add();

@@ -56,7 +56,38 @@ class Runtime {
   /// Executes one event. Returns false when the queue is empty.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return queue_.size() + list_.size(); }
+
+  // ---- explicit scheduling (model-checking choice points) ----
+  /// One schedulable event, as the model checker's Explorer sees it.
+  struct PendingInfo {
+    std::uint64_t id = 0;   // creation sequence number; stable handle
+    SimTime when = 0;       // the time the normal scheduler would fire it
+    bool is_message = false;
+    ProcessId src = kNoProcess;  // kNoProcess for timers
+    ProcessId dst = kNoProcess;  // timer: the owning process
+    std::uint8_t tag = 0;        // MessageTag byte for messages, 0 for timers
+  };
+  /// Switches the runtime into explicit-schedule mode: events no longer fire
+  /// in timestamp order under step()/run_until(); they accumulate in a
+  /// pending list and the caller picks which to execute (or drop) by id.
+  /// run_until() degrades to a pure clock advance. Any event already queued
+  /// (e.g. the periodic collector timers armed by start()) migrates into the
+  /// pending list. One-way switch.
+  void enable_explicit_schedule();
+  bool explicit_schedule() const { return explicit_; }
+  /// The pending events, in creation order (deterministic).
+  std::vector<PendingInfo> pending_infos() const;
+  /// Executes the pending event `id` now; logical time advances to
+  /// max(now, event time). Returns false if no such event is pending.
+  bool execute_event(std::uint64_t id);
+  /// Discards the pending event `id` without executing it (models message
+  /// loss when it is an Envelope). Returns false if no such event is pending.
+  bool drop_event(std::uint64_t id);
+  /// Removes pending events the delivery path would ignore anyway (dead or
+  /// stale-incarnation destination/owner), bumping the same drop counters
+  /// execute() would. Keeps the choice space free of no-op decisions.
+  std::size_t prune_stale_events();
 
   SimNetwork& network() { return *network_; }
   const RuntimeConfig& config() const { return cfg_; }
@@ -100,12 +131,16 @@ class Runtime {
 
   void push_at(SimTime when, std::variant<Envelope, TimerEvent> what);
   void execute(Event&& ev);
+  /// True when execute() would discard the event without any effect.
+  bool event_stale(const Event& ev) const;
 
   RuntimeConfig cfg_;
   Rng rng_;
   SimTime now_ = 0;
   std::uint64_t next_event_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  bool explicit_ = false;
+  std::vector<Event> list_;  // pending events in explicit-schedule mode
   Metrics net_metrics_;
   std::unique_ptr<SimNetwork> network_;
   std::vector<std::unique_ptr<SimEnv>> envs_;

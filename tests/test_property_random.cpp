@@ -10,6 +10,9 @@
 
 #include <tuple>
 
+#include "src/mc/explorer.h"
+#include "src/mc/oracles.h"
+#include "src/mc/strategy.h"
 #include "src/sim/harness.h"
 #include "src/sim/scenarios.h"
 #include "src/sim/workload.h"
@@ -39,7 +42,12 @@ TEST_P(CollectorProperties, SafetyAndCompleteness) {
   wp.use_rmi_edges = p.rmi_edges;
   sim::RandomWorkload w(rt, wp, p.seed * 7919 + 1);
 
-  // Phase 1: mutate while the collectors run. Safety checked continuously.
+  // Phase 1: mutate while the collectors run. Safety checked continuously,
+  // both against the shadow oracle (expected live set) and — on loss-free
+  // runs — with the model checker's structural frontier check (no dangling
+  // edge out of the root-reachable region). Duplicated deliveries can
+  // legitimately resurrect a stub after its reference was surrendered, so
+  // the structural check only applies when the network cannot duplicate.
   for (int round = 0; round < p.mutation_rounds; ++round) {
     w.steps(20);
     rt.run_for(15'000);
@@ -47,6 +55,11 @@ TEST_P(CollectorProperties, SafetyAndCompleteness) {
     ASSERT_FALSE(violation.has_value())
         << "SAFETY: live " << to_string(*violation) << " collected; seed=" << p.seed
         << " procs=" << p.procs << " loss=" << p.loss << " round=" << round;
+    if (p.loss == 0.0) {
+      const auto frontier = mc::check_reachable_intact(rt);
+      ASSERT_FALSE(frontier.has_value())
+          << *frontier << "; seed=" << p.seed << " round=" << round;
+    }
   }
 
   // Phase 2: mutation stops; collectors must converge. Under loss this can
@@ -56,6 +69,12 @@ TEST_P(CollectorProperties, SafetyAndCompleteness) {
 
   const auto violation = w.find_safety_violation();
   ASSERT_FALSE(violation.has_value()) << "SAFETY post-settle: " << to_string(*violation);
+  if (p.loss == 0.0) {
+    const auto frontier = mc::check_reachable_intact(rt);
+    ASSERT_FALSE(frontier.has_value()) << *frontier << " (post-settle); seed=" << p.seed;
+    const auto garbage = mc::check_no_garbage(rt);
+    EXPECT_FALSE(garbage.has_value()) << *garbage << "; seed=" << p.seed;
+  }
 
   const auto live = w.shadow().live();
   std::size_t total = 0;
@@ -119,6 +138,34 @@ TEST_P(ChurnRace, InvocationChurnNeverCausesFalseCollection) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnRace, ::testing::Values(101, 202, 303, 404, 505));
+
+// PCT schedule sweep: the same properties, but over *systematically*
+// perturbed schedules instead of the simulator's single random one. Ten
+// seeds of randomized-priority exploration on the adversarial scenarios;
+// the Explorer checks the shared safety oracle after every decision and
+// the completeness oracle after each schedule settles.
+class PctSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PctSweep, RandomPrioritySchedulesHoldBothProperties) {
+  const std::uint64_t seed = GetParam();
+  for (const mc::ScenarioKind scenario :
+       {mc::ScenarioKind::kRace, mc::ScenarioKind::kFig3}) {
+    mc::ExplorerOptions opts;
+    opts.scenario = scenario;
+    opts.seed = seed;
+    opts.max_steps = 16;
+    opts.max_schedules = 60;
+    mc::Explorer explorer(opts);
+    mc::PctStrategy strategy(seed, /*change_points=*/3, opts.max_steps);
+    const mc::ExploreResult res = explorer.explore(strategy);
+    EXPECT_FALSE(res.failure.has_value())
+        << mc::scenario_name(scenario) << " seed " << seed << ": "
+        << *res.failure->violation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TenSeeds, PctSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
 }  // namespace
 }  // namespace adgc

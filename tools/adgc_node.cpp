@@ -37,6 +37,7 @@
 #include "src/common/log.h"
 #include "src/rt/node_runtime.h"
 #include "src/sim/cluster_plant.h"
+#include "tools/cli_flags.h"
 
 using namespace adgc;
 
@@ -64,35 +65,47 @@ struct Options {
   bool verbose = false;
 };
 
-bool parse_flag(const char* arg, const char* name, std::string* value) {
-  const std::size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) != 0) return false;
-  if (arg[n] == '\0') {
-    *value = "";
-    return true;
-  }
-  if (arg[n] != '=') return false;
-  *value = arg + n + 1;
-  return true;
-}
+using cli::parse_flag;
+
+// Single source of truth for the optional flags: the usage synopsis and the
+// flag help below are both generated from this table.
+constexpr cli::FlagSpec kNodeFlags[] = {
+    {"--state-dir", "DIR", "persistent snapshot directory (restart recovery)"},
+    {"--seed", "S", "RNG seed (default 1)"},
+    {"--run-ms", "T", "wall-clock run time; 0 = until SIGTERM/SIGINT (default)"},
+    {"--plant-ring", "NODES:OBJS",
+     "this node's slice of the deterministic Fig. 3 ring;\n"
+     "skipped automatically after a snapshot recovery"},
+    {"--drop-root-after-ms", "T",
+     "node 0 drops the ring anchor's root after this delay,\n"
+     "turning the ring into distributed garbage (default: never)"},
+    {"--crash-at-ms", "T",
+     "hard-kill hook: _exit(137) without any drain,\n"
+     "indistinguishable from kill -9 (default: never)"},
+    {"--status-every-ms", "T", "status-line period on stdout (default 200)"},
+    {"--lgc-ms", "T", "local GC period (default 25)"},
+    {"--snapshot-ms", "T", "snapshot + summarize period (default 60)"},
+    {"--dcda-ms", "T", "DCDA candidate-scan period (default 80)"},
+    {"--quarantine-ms", "T", "candidate quarantine (default 50)"},
+    {"--detect-timeout-ms", "T", "initiator-side detection timeout (default 2000)"},
+    {"--no-batching", nullptr,
+     "one transport message per control message\n"
+     "instead of per-peer batch frames"},
+    {"--batch-flush-us", "T",
+     "batch flush deadline (wall-clock us): the most\n"
+     "latency batching may add to a control message\n"
+     "(default: the config default)"},
+    {"--verbose", nullptr, "info-level logs"},
+};
+constexpr std::size_t kNumNodeFlags = sizeof(kNodeFlags) / sizeof(kNodeFlags[0]);
 
 [[noreturn]] void usage(const char* argv0, int code) {
-  std::fprintf(stderr,
-               "usage: %s --id=N --listen=host:port --peers=0=h:p,1=h:p,...\n"
-               "          [--state-dir=DIR] [--seed=S] [--run-ms=T]\n"
-               "          [--plant-ring=NODES:OBJS] [--drop-root-after-ms=T]\n"
-               "          [--crash-at-ms=T] [--status-every-ms=T]\n"
-               "          [--lgc-ms=T] [--snapshot-ms=T] [--dcda-ms=T]\n"
-               "          [--quarantine-ms=T] [--detect-timeout-ms=T]\n"
-               "          [--no-batching] [--batch-flush-us=T] [--verbose]\n"
-               "\n"
-               "  --no-batching      one transport message per control message\n"
-               "                     instead of per-peer batch frames\n"
-               "  --batch-flush-us=T batch flush deadline (wall-clock us): the most\n"
-               "                     latency batching may add to a control message\n"
-               "                     (default %llu)\n",
-               argv0,
+  std::FILE* out = code == 0 ? stdout : stderr;
+  cli::print_usage_line(out, argv0, "--id=N --listen=host:port --peers=0=h:p,1=h:p,...",
+                        kNodeFlags, kNumNodeFlags);
+  std::fprintf(out, "\nflags (--batch-flush-us default: %llu):\n",
                static_cast<unsigned long long>(ProcessConfig{}.batch_flush_us));
+  cli::print_flag_help(out, kNodeFlags, kNumNodeFlags);
   std::exit(code);
 }
 

@@ -33,6 +33,7 @@
 #include "src/sim/chaos_sweep.h"
 #include "src/sim/harness.h"
 #include "src/sim/workload.h"
+#include "tools/cli_flags.h"
 
 using namespace adgc;
 
@@ -57,28 +58,55 @@ struct Options {
   bool verbose = false;
 };
 
-bool parse_flag(const char* arg, const char* name, std::string* value) {
-  const std::size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) != 0) return false;
-  if (arg[n] == '\0') {
-    *value = "";
-    return true;
-  }
-  if (arg[n] != '=') return false;
-  *value = arg + n + 1;
-  return true;
-}
+using cli::parse_flag;
+
+// The single source of truth for the workload-mode flags: both the usage
+// synopsis and the --help flag table are generated from this.
+constexpr cli::FlagSpec kWorkloadFlags[] = {
+    {"--procs", "N", "number of simulated processes (default 4, min 2)"},
+    {"--seed", "S", "RNG seed; runs are a pure function of it (default 1)"},
+    {"--loss", "P", "message-loss probability in [0,1) (default 0)"},
+    {"--dup", "P", "message-duplication probability in [0,1) (default 0)"},
+    {"--steps", "K", "mutator steps per round (default 20)"},
+    {"--rounds", "R", "workload rounds before settling (default 40)"},
+    {"--settle-ms", "T", "simulated settle time after mutation stops (default 30000)"},
+    {"--summarizer", "X", "snapshot summarizer: bfs or scc (default scc)"},
+    {"--no-dcda", nullptr, "disable the cycle detector (acyclic DGC only)"},
+    {"--rmi-edges", nullptr,
+     "mutate references through RMI side effects; needs --loss=0\n"
+     "so the shadow oracle stays exact"},
+    {"--crash-every", "R",
+     "crash+restart a rotating victim every R rounds, with\n"
+     "persistent snapshots so restarts recover; the shadow\n"
+     "oracle is resynced to the rolled-back state (default off)"},
+    {"--no-batching", nullptr,
+     "send every control message (CDM, NewSetStubs, AddScion\n"
+     "ack) as its own transport message instead of coalescing\n"
+     "per-peer batch frames (default: batching on)"},
+    {"--batch-flush-us", "T",
+     "batch flush deadline in simulated microseconds -- the\n"
+     "most latency batching may add to a control message\n"
+     "(default: the config default); ignored under --no-batching"},
+    {"--verbose", nullptr, "per-round progress and info-level logs"},
+};
+constexpr std::size_t kNumWorkloadFlags =
+    sizeof(kWorkloadFlags) / sizeof(kWorkloadFlags[0]);
+
+constexpr cli::FlagSpec kChaosFlags[] = {
+    {"--seed", "S", ""}, {"--loss", "P", ""}, {"--dup", "P", ""},
+    {"--no-batching", nullptr, ""},
+};
+constexpr cli::FlagSpec kBackoffFlags[] = {
+    {"--seed", "S", ""}, {"--loss", "P", ""},
+};
 
 void print_usage(std::FILE* out, const char* argv0) {
-  std::fprintf(out,
-               "usage: %s [--procs=N] [--seed=S] [--loss=P] [--dup=P] [--steps=K]\n"
-               "          [--rounds=R] [--settle-ms=T] [--summarizer=bfs|scc]\n"
-               "          [--no-dcda] [--rmi-edges] [--crash-every=R]\n"
-               "          [--no-batching] [--batch-flush-us=T] [--verbose]\n"
-               "       %s --chaos [--seed=S] [--loss=P] [--dup=P] [--no-batching]\n"
-               "       %s --compare-backoff [--seed=S] [--loss=P]\n"
-               "       %s --help\n",
-               argv0, argv0, argv0, argv0);
+  cli::print_usage_line(out, argv0, "", kWorkloadFlags, kNumWorkloadFlags);
+  cli::print_usage_line(out, argv0, "--chaos", kChaosFlags,
+                        sizeof(kChaosFlags) / sizeof(kChaosFlags[0]), "       ");
+  cli::print_usage_line(out, argv0, "--compare-backoff", kBackoffFlags,
+                        sizeof(kBackoffFlags) / sizeof(kBackoffFlags[0]), "       ");
+  std::fprintf(out, "       %s --help\n", argv0);
 }
 
 [[noreturn]] void usage(const char* argv0) {
@@ -96,28 +124,10 @@ void print_usage(std::FILE* out, const char* argv0) {
       "metrics. Exit status 0 iff the run converged (no garbage left, no live\n"
       "object lost) -- usable as a soak test in CI loops.\n"
       "\n"
-      "workload mode flags:\n"
-      "  --procs=N         number of simulated processes (default 4, min 2)\n"
-      "  --seed=S          RNG seed; runs are a pure function of it (default 1)\n"
-      "  --loss=P          message-loss probability in [0,1) (default 0)\n"
-      "  --dup=P           message-duplication probability in [0,1) (default 0)\n"
-      "  --steps=K         mutator steps per round (default 20)\n"
-      "  --rounds=R        workload rounds before settling (default 40)\n"
-      "  --settle-ms=T     simulated settle time after mutation stops (default 30000)\n"
-      "  --summarizer=X    snapshot summarizer: bfs or scc (default scc)\n"
-      "  --no-dcda         disable the cycle detector (acyclic DGC only)\n"
-      "  --rmi-edges       mutate references through RMI side effects; needs --loss=0\n"
-      "                    so the shadow oracle stays exact\n"
-      "  --crash-every=R   crash+restart a rotating victim every R rounds, with\n"
-      "                    persistent snapshots so restarts recover; the shadow\n"
-      "                    oracle is resynced to the rolled-back state (default off)\n"
-      "  --no-batching     send every control message (CDM, NewSetStubs, AddScion\n"
-      "                    ack) as its own transport message instead of coalescing\n"
-      "                    per-peer batch frames (default: batching on)\n"
-      "  --batch-flush-us=T  batch flush deadline in simulated microseconds -- the\n"
-      "                    most latency batching may add to a control message\n"
-      "                    (default %llu); ignored under --no-batching\n"
-      "  --verbose         per-round progress and info-level logs\n"
+      "workload mode flags (--batch-flush-us default: %llu):\n",
+      static_cast<unsigned long long>(ProcessConfig{}.batch_flush_us));
+  cli::print_flag_help(stdout, kWorkloadFlags, kNumWorkloadFlags);
+  std::printf(
       "\n"
       "alternate modes (exclusive with the workload flags above):\n"
       "  --chaos           composed chaos sweep: loss + duplication + reordering +\n"
@@ -129,8 +139,8 @@ void print_usage(std::FILE* out, const char* argv0) {
       "                    traffic of both; exit 0 iff adaptive reduced retries\n"
       "\n"
       "Unknown flags are an error (exit 2). For the real-TCP multi-process\n"
-      "driver see adgc_node and cluster_harness (docs/DEPLOY.md).\n",
-      static_cast<unsigned long long>(ProcessConfig{}.batch_flush_us));
+      "driver see adgc_node and cluster_harness (docs/DEPLOY.md); for the\n"
+      "model-checking schedule explorer see adgc_mc (docs/MODEL_CHECKING.md).\n");
   std::exit(0);
 }
 
