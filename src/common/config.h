@@ -72,6 +72,21 @@ struct ProcessConfig {
   /// AddScion handshake are never shed. 0 disables shedding.
   std::uint32_t peer_outstanding_limit = 128;
 
+  // --- permanent-failure eviction ---
+  /// Escalates sustained suspicion into committed death: a peer that has
+  /// been continuously suspected — or that holds scions here and has been
+  /// silent — for this long is evicted (its scions dropped, stubs toward it
+  /// retired, detections crossing it aborted, transport/batcher state
+  /// purged) and tombstoned by incarnation. Must sit well above the longest
+  /// partition the deployment should ride out: a false positive degrades to
+  /// a forced crash/restart of the accused peer, never to a dangling
+  /// reference, but restarts are not free. 0 disables eviction entirely.
+  SimTime peer_death_timeout_us = 0;
+  /// Prunes peer-health slots with no send/hear activity for this long (and
+  /// not currently suspected), bounding survivor memory under peer churn.
+  /// 0 disables pruning.
+  SimTime peer_health_idle_prune_us = 600'000'000;
+
   /// Grace period protecting a *pending* (never yet confirmed by its holder)
   /// scion from NewSetStubs deletion while the reference may still be in
   /// flight toward the holder.

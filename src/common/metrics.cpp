@@ -70,6 +70,16 @@ const std::vector<Field>& fields() {
       {"new_set_stubs_deferred", &Metrics::new_set_stubs_deferred},
       {"detections_deferred_backoff", &Metrics::detections_deferred_backoff},
       {"candidates_deprioritized", &Metrics::candidates_deprioritized},
+      {"peers_evicted", &Metrics::peers_evicted},
+      {"eviction_scions_dropped", &Metrics::eviction_scions_dropped},
+      {"eviction_stubs_retired", &Metrics::eviction_stubs_retired},
+      {"detections_aborted_eviction", &Metrics::detections_aborted_eviction},
+      {"eviction_nacks_sent", &Metrics::eviction_nacks_sent},
+      {"eviction_nacks_received", &Metrics::eviction_nacks_received},
+      {"messages_rejected_evicted", &Metrics::messages_rejected_evicted},
+      {"nss_solicits_sent", &Metrics::nss_solicits_sent},
+      {"peer_health_slots", &Metrics::peer_health_slots},
+      {"peer_health_slots_pruned", &Metrics::peer_health_slots_pruned},
       {"batches_sent", &Metrics::batches_sent},
       {"batch_singletons", &Metrics::batch_singletons},
       {"batched_messages", &Metrics::batched_messages},

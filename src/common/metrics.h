@@ -102,6 +102,18 @@ struct Metrics {
   Counter detections_deferred_backoff;  // candidate skipped (relaunch backoff)
   Counter candidates_deprioritized;     // candidate ranked last (suspected first hop)
 
+  // Permanent-failure eviction.
+  Counter peers_evicted;                // peers committed dead locally
+  Counter eviction_scions_dropped;      // scions held by an evicted peer
+  Counter eviction_stubs_retired;       // stubs toward an evicted peer
+  Counter detections_aborted_eviction;  // in-flight detections torn down by eviction
+  Counter eviction_nacks_sent;          // Evicted NACKs emitted at rejection
+  Counter eviction_nacks_received;      // zombie side: told to restart
+  Counter messages_rejected_evicted;    // traffic from a tombstoned incarnation
+  Counter nss_solicits_sent;            // lease probes to silent scion holders
+  Counter peer_health_slots;            // gauge: tracked peers after last LGC
+  Counter peer_health_slots_pruned;     // idle slots reclaimed
+
   // Control-plane batching (per-peer coalescing of CDM / NSS / AddScionAck).
   Counter batches_sent;              // flushes that put a real batch (>=2) on the wire
   Counter batch_singletons;          // flushes degenerated to one plain message

@@ -223,12 +223,15 @@ int Detector::expand(const CdmMsg& base, const ScionSummary& scion, const Algebr
   return sent;
 }
 
-void Detector::abort_for_crash(ProcessId crashed, SimTime /*now*/) {
-  for (const auto& rec : manager_.drain()) {
+std::vector<DetectionManager::Record> Detector::abort_for_crash(ProcessId crashed,
+                                                                SimTime /*now*/) {
+  std::vector<DetectionManager::Record> drained = manager_.drain();
+  for (const auto& rec : drained) {
     metrics_.detections_aborted_crash.add();
     ADGC_DEBUG("P" << pid_ << " aborts " << to_string(rec.id) << " (P" << crashed
                    << " crashed)");
   }
+  return drained;
 }
 
 std::vector<DetectionManager::Record> Detector::expire(SimTime now) {

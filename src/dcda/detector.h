@@ -72,12 +72,14 @@ class Detector {
   /// candidates (a timeout usually means a lossy or partitioned link).
   std::vector<DetectionManager::Record> expire(SimTime now);
 
-  /// A peer process crashed: aborts every in-flight detection this process
-  /// initiated. Any of them may have a CDM touching the crashed process, and
-  /// after its restart the restored tables no longer match the algebra those
-  /// CDMs carry — the same reasoning as the paper's IC-mismatch abort.
-  /// Surviving candidates are retried by the periodic detection scan.
-  void abort_for_crash(ProcessId crashed, SimTime now);
+  /// A peer process crashed (or was evicted): aborts every in-flight
+  /// detection this process initiated. Any of them may have a CDM touching
+  /// the crashed process, and after its restart the restored tables no
+  /// longer match the algebra those CDMs carry — the same reasoning as the
+  /// paper's IC-mismatch abort. Surviving candidates are retried by the
+  /// periodic detection scan; the drained records are returned so the
+  /// eviction path can re-quarantine candidates under the relaunch backoff.
+  std::vector<DetectionManager::Record> abort_for_crash(ProcessId crashed, SimTime now);
 
   /// Marks a detection finished at the initiator (cycle acted upon).
   void finish(DetectionId id) { manager_.end(id); }

@@ -64,6 +64,12 @@ class ScionTable {
   /// (≤ the recorded one), in which case the message must be ignored.
   bool accept_export_seq(ProcessId holder, std::uint64_t seq);
 
+  /// Drops all per-holder bookkeeping (the export_seq watermark) for an
+  /// evicted peer. Its fresh incarnation restarts the series from an
+  /// incarnation-epoched value that sorts above everything anyway; keeping
+  /// the entry would only leak a map slot per evicted peer.
+  void forget_holder(ProcessId holder) { export_seq_.erase(holder); }
+
  private:
   std::map<RefId, ScionEntry> entries_;  // ordered: deterministic iteration
   std::map<ProcessId, std::uint64_t> export_seq_;

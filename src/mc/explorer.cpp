@@ -76,6 +76,7 @@ ScheduleOutcome Explorer::run_schedule(ScheduleStrategy& strategy) {
   out.trace.unsafe_no_ic = opts_.unsafe_no_ic;
 
   RuntimeConfig cfg = mc_config(opts_.seed);
+  scenario->tune_config(cfg);
   cfg.proc.dcda_unsafe_ignore_ic = opts_.unsafe_no_ic;
   Runtime rt(scenario->num_procs(), cfg);
   const SimTime lat = cfg.net.min_latency_us;
@@ -88,6 +89,7 @@ ScheduleOutcome Explorer::run_schedule(ScheduleStrategy& strategy) {
   std::size_t script_next = 0;
   std::uint32_t drops_used = 0;
   std::uint32_t crashes_used = 0;
+  std::uint32_t evictions_seen = 0;
   std::vector<std::uint32_t> lgc_used(n, 0), snap_used(n, 0), scan_used(n, 0);
   std::unordered_set<ProcessId> tainted;
 
@@ -189,6 +191,17 @@ ScheduleOutcome Explorer::run_schedule(ScheduleStrategy& strategy) {
     }
     out.trace.decisions.push_back(d);
 
+    // An eviction is the protocol deliberately treating a peer as crashed:
+    // its scions are dropped, so objects reachable only through it may be
+    // reclaimed. Taint it exactly like a crash for the safety oracle.
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      if (!rt.alive(pid)) continue;
+      for (const auto& [peer, inc] : rt.proc(pid).peer_health().eviction_tombstones()) {
+        (void)inc;
+        if (tainted.insert(peer).second) ++evictions_seen;
+      }
+    }
+
     if (auto v = check_reachable_intact(rt, &tainted)) {
       out.violation = std::move(v);
       break;
@@ -197,10 +210,11 @@ ScheduleOutcome Explorer::run_schedule(ScheduleStrategy& strategy) {
   out.steps = out.trace.decisions.size();
 
   // Liveness is only decidable on fault-free schedules: a dropped invoke
-  // legitimately orphans a pending scion forever, and a cold restart loses
-  // roots — both leave garbage the protocol is not required to reclaim
-  // within this horizon.
-  if (!out.violation && opts_.check_liveness && drops_used == 0 && crashes_used == 0) {
+  // legitimately orphans a pending scion forever, a cold restart loses
+  // roots, and an eviction severs live remote references on purpose — all
+  // leave garbage the protocol is not required to reclaim in this horizon.
+  if (!out.violation && opts_.check_liveness && scenario->check_liveness() &&
+      drops_used == 0 && crashes_used == 0 && evictions_seen == 0) {
     while (script_next < scenario->script_size()) {
       scenario->apply_script(rt, script_next++);
     }
@@ -254,6 +268,7 @@ ExploreResult Explorer::explore(ScheduleStrategy& strategy) {
     res.cycles_collected += out.metrics.detections_cycle_found.get();
     res.detections_aborted_ic += out.metrics.detections_aborted_ic.get();
     res.messages_delivered += out.metrics.messages_delivered.get();
+    res.peers_evicted += out.metrics.peers_evicted.get();
 
     if (out.violation) {
       if (!res.failure) res.failure = std::move(out);

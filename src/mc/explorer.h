@@ -62,6 +62,7 @@ struct ExploreResult {
   std::uint64_t cycles_collected = 0;
   std::uint64_t detections_aborted_ic = 0;
   std::uint64_t messages_delivered = 0;
+  std::uint64_t peers_evicted = 0;
 };
 
 class Explorer {

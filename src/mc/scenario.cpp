@@ -153,6 +153,52 @@ class RaceScenario final : public Scenario {
   RefId x_to_y_ = kNoRef, y_to_z_ = kNoRef, z_to_x_ = kNoRef;
 };
 
+// ---------------------------------------------------------------- evict
+
+// Permanent-failure eviction in minimal form: P1 roots H which references X
+// owned by P0, so P0 holds one scion whose holder is P1. tune_config arms a
+// one-microsecond peer_death_timeout with a one-strike suspicion threshold,
+// so a handful of kLgc decisions at P0 walk the whole escalation — arm the
+// watch, solicit P1's NewSetStubs, score the unanswered probe as a strike,
+// then convict the sustained suspicion into a committed eviction of P1,
+// dropping the scion and tombstoning P1's incarnation. (Whether the probe
+// goes unanswered is itself a scheduling choice: the Explorer decides the
+// fate of the NssSolicit and of P1's answer.) The script keeps invoke/reply
+// traffic from P1 in flight so the Explorer can deliver pre-eviction
+// messages after the tombstone is in place (Evicted NACK path). Safety must
+// hold throughout: eviction may only ever reclaim objects reachable through
+// the evicted (tainted) peer, never anything rooted elsewhere.
+class EvictScenario final : public Scenario {
+ public:
+  ScenarioKind kind() const override { return ScenarioKind::kEvict; }
+  std::size_t num_procs() const override { return 2; }
+  void build(Runtime& rt) override {
+    x_ = ObjectId{0, rt.proc(0).create_object()};
+    h_ = ObjectId{1, rt.proc(1).create_object()};
+    h_to_x_ = rt.link(h_, x_);
+    rt.proc(1).add_root(h_.seq);
+    baseline_snapshots(rt);
+  }
+  std::size_t script_size() const override { return 2; }
+  void apply_script(Runtime& rt, std::size_t) override {
+    rt.proc(1).invoke(h_.seq, h_to_x_, InvokeEffect::kTouch, {},
+                      /*want_reply=*/true);
+  }
+  ProcessId script_proc(std::size_t) const override { return 1; }
+  // Fault-free without eviction both objects live — but the liveness gate
+  // is off (check_liveness), so this is documentation, not an oracle input.
+  std::size_t expected_survivors() const override { return 2; }
+  void tune_config(RuntimeConfig& cfg) const override {
+    cfg.proc.peer_death_timeout_us = 1;
+    cfg.proc.suspect_after_failures = 1;  // one unanswered solicit convicts
+  }
+  bool check_liveness() const override { return false; }
+
+ private:
+  ObjectId x_, h_;
+  RefId h_to_x_ = kNoRef;
+};
+
 }  // namespace
 
 const char* scenario_name(ScenarioKind kind) {
@@ -162,6 +208,7 @@ const char* scenario_name(ScenarioKind kind) {
     case ScenarioKind::kFig4: return "fig4";
     case ScenarioKind::kFig5: return "fig5";
     case ScenarioKind::kRace: return "race";
+    case ScenarioKind::kEvict: return "evict";
   }
   return "?";
 }
@@ -172,6 +219,7 @@ std::optional<ScenarioKind> parse_scenario(const std::string& name) {
   if (name == "fig4") return ScenarioKind::kFig4;
   if (name == "fig5") return ScenarioKind::kFig5;
   if (name == "race") return ScenarioKind::kRace;
+  if (name == "evict") return ScenarioKind::kEvict;
   return std::nullopt;
 }
 
@@ -182,6 +230,7 @@ std::unique_ptr<Scenario> make_scenario(ScenarioKind kind) {
     case ScenarioKind::kFig4: return std::make_unique<Fig4Scenario>();
     case ScenarioKind::kFig5: return std::make_unique<Fig5Scenario>();
     case ScenarioKind::kRace: return std::make_unique<RaceScenario>();
+    case ScenarioKind::kEvict: return std::make_unique<EvictScenario>();
   }
   return nullptr;
 }

@@ -17,7 +17,7 @@
 
 namespace adgc::mc {
 
-enum class ScenarioKind { kFig1, kFig3, kFig4, kFig5, kRace };
+enum class ScenarioKind { kFig1, kFig3, kFig4, kFig5, kRace, kEvict };
 
 const char* scenario_name(ScenarioKind kind);
 std::optional<ScenarioKind> parse_scenario(const std::string& name);
@@ -47,6 +47,17 @@ class Scenario {
   /// Objects that must survive a fault-free schedule once the full script
   /// has run and the system has settled (completeness oracle input).
   virtual std::size_t expected_survivors() const = 0;
+
+  /// Scenario-specific config overrides applied on top of mc_config().
+  /// The evict scenario uses this to arm peer_death_timeout_us so the
+  /// Explorer's LGC decisions double as eviction choice points.
+  virtual void tune_config(RuntimeConfig&) const {}
+
+  /// Whether the liveness/completeness oracle is decidable for fault-free
+  /// schedules of this scenario. The evict scenario returns false: an
+  /// eviction deliberately reclaims objects that are still reachable
+  /// through the evicted peer, so only the safety oracles apply.
+  virtual bool check_liveness() const { return true; }
 
   std::string name() const { return scenario_name(kind()); }
 };

@@ -157,6 +157,15 @@ struct Encoder {
       w.raw(item.data(), item.size());
     }
   }
+
+  void operator()(const EvictedNackMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kEvictedNack));
+    w.u32(m.evicted_incarnation);
+  }
+
+  void operator()(const NssSolicitMsg&) {
+    w.u8(static_cast<std::uint8_t>(Tag::kNssSolicit));
+  }
 };
 
 }  // namespace
@@ -315,6 +324,17 @@ MessagePayload decode_message(std::span<const std::byte> bytes) {
       r.expect_done();
       return m;
     }
+    case Tag::kEvictedNack: {
+      EvictedNackMsg m;
+      m.evicted_incarnation = r.u32();
+      r.expect_done();
+      return m;
+    }
+    case Tag::kNssSolicit: {
+      NssSolicitMsg m;
+      r.expect_done();
+      return m;
+    }
   }
   throw DecodeError("unknown message tag");
 }
@@ -346,6 +366,8 @@ const char* message_kind(const MessagePayload& m) {
     const char* operator()(const GtStatusMsg&) const { return "GtStatus"; }
     const char* operator()(const GtFinishMsg&) const { return "GtFinish"; }
     const char* operator()(const BatchMsg&) const { return "Batch"; }
+    const char* operator()(const EvictedNackMsg&) const { return "EvictedNack"; }
+    const char* operator()(const NssSolicitMsg&) const { return "NssSolicit"; }
   };
   return std::visit(Kind{}, m);
 }

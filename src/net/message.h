@@ -191,10 +191,36 @@ struct BatchMsg {
   friend bool operator==(const BatchMsg&, const BatchMsg&) = default;
 };
 
+/// Permanent-failure rejection: the receiver has committed the sender's
+/// `evicted_incarnation` dead (eviction tombstone) and refuses its traffic.
+/// The only valid reaction is to stop and restart under a fresh incarnation,
+/// re-exporting references through the normal AddScion handshake — which is
+/// exactly the crash/restart path the system already tolerates, so a false
+/// eviction (partition misdiagnosed as death) degrades to a forced restart,
+/// never to a dangling reference. A NACK is never answered with a NACK.
+struct EvictedNackMsg {
+  Incarnation evicted_incarnation = 0;
+
+  friend bool operator==(const EvictedNackMsg&, const EvictedNackMsg&) = default;
+};
+
+/// Lease probe from an owner to a scion holder that has been silent past
+/// `peer_death_timeout`: "send me your NewSetStubs now". A live holder
+/// answers unconditionally — an empty set is the answer that lets the owner
+/// expire scions the holder no longer (or never) backs, e.g. after the
+/// holder restarted from a snapshot predating the stub. A dead holder
+/// leaves the solicit unanswered, which feeds the suspicion escalation
+/// toward eviction. Either way scions only ever die through a holder-
+/// asserted NewSetStubs or a committed eviction — never on silence alone.
+struct NssSolicitMsg {
+  friend bool operator==(const NssSolicitMsg&, const NssSolicitMsg&) = default;
+};
+
 using MessagePayload =
     std::variant<InvokeMsg, ReplyMsg, NewSetStubsMsg, AddScionMsg, AddScionAckMsg,
                  CdmMsg, BacktraceRequestMsg, BacktraceReplyMsg, GtStartMsg, GtMarkMsg,
-                 GtPollMsg, GtStatusMsg, GtFinishMsg, BatchMsg>;
+                 GtPollMsg, GtStatusMsg, GtFinishMsg, BatchMsg, EvictedNackMsg,
+                 NssSolicitMsg>;
 
 /// On-wire type tag: the first byte of encode_message() output. Exposed so
 /// transport-level code (the TCP write queue's priority shedding) can
@@ -214,6 +240,8 @@ enum class MessageTag : std::uint8_t {
   kGtStatus = 12,
   kGtFinish = 13,
   kBatch = 14,
+  kEvictedNack = 15,
+  kNssSolicit = 16,
 };
 
 /// A message in flight.

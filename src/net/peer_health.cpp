@@ -18,6 +18,7 @@ void PeerHealthTracker::on_send(ProcessId peer, SimTime now) {
   Peer& p = slot(peer);
   if (p.outstanding == 0) p.window_start = now;
   if (p.outstanding < ~std::uint32_t{0}) ++p.outstanding;
+  p.last_activity = now;
 }
 
 void PeerHealthTracker::on_heard(ProcessId peer, SimTime now) {
@@ -26,6 +27,12 @@ void PeerHealthTracker::on_heard(ProcessId peer, SimTime now) {
   p.consecutive_failures = 0;
   p.outstanding = 0;
   p.window_start = 0;
+  p.last_activity = now;
+  // Any sign of life clears the sticky flag immediately: a recovered peer
+  // must leave the suspected count (and restart its death-timeout clock)
+  // even if nobody queries its verdict again.
+  p.suspected = false;
+  p.suspected_since = 0;
 }
 
 void PeerHealthTracker::on_response(ProcessId peer, SimTime rtt_us, SimTime now) {
@@ -41,11 +48,15 @@ void PeerHealthTracker::on_response(ProcessId peer, SimTime rtt_us, SimTime now)
   p.consecutive_failures = 0;
   p.outstanding = 0;
   p.window_start = 0;
+  p.last_activity = now;
+  p.suspected = false;
+  p.suspected_since = 0;
 }
 
-void PeerHealthTracker::on_timeout(ProcessId peer, SimTime /*now*/) {
+void PeerHealthTracker::on_timeout(ProcessId peer, SimTime now) {
   Peer& p = slot(peer);
   if (p.consecutive_failures < ~std::uint32_t{0}) ++p.consecutive_failures;
+  p.last_activity = now;
 }
 
 bool PeerHealthTracker::compute_suspected(const Peer& p, SimTime now) const {
@@ -70,7 +81,12 @@ bool PeerHealthTracker::compute_suspected(const Peer& p, SimTime now) const {
 bool PeerHealthTracker::suspected(ProcessId peer, SimTime now) {
   Peer& p = slot(peer);
   const bool s = compute_suspected(p, now);
-  if (s && !p.suspected) metrics_.peer_suspect_transitions.add();
+  if (s && !p.suspected) {
+    metrics_.peer_suspect_transitions.add();
+    p.suspected_since = now;  // rising edge: the sustained-suspicion clock
+  } else if (!s) {
+    p.suspected_since = 0;
+  }
   p.suspected = s;
   return s;
 }
@@ -108,5 +124,53 @@ std::size_t PeerHealthTracker::suspected_count() const {
   }
   return n;
 }
+
+SimTime PeerHealthTracker::suspected_since(ProcessId peer) const {
+  const Peer* p = find(peer);
+  return p ? p->suspected_since : 0;
+}
+
+SimTime PeerHealthTracker::last_heard(ProcessId peer) const {
+  const Peer* p = find(peer);
+  return p ? p->last_heard : 0;
+}
+
+std::set<ProcessId> PeerHealthTracker::known_peers() const {
+  std::set<ProcessId> out;
+  for (const auto& [pid, p] : peers_) {
+    (void)p;
+    out.insert(pid);
+  }
+  return out;
+}
+
+void PeerHealthTracker::erase_peer(ProcessId peer) { peers_.erase(peer); }
+
+std::size_t PeerHealthTracker::prune_idle(SimTime now, SimTime idle_us) {
+  std::size_t pruned = 0;
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    const Peer& p = it->second;
+    if (!p.suspected && now >= p.last_activity && now - p.last_activity >= idle_us) {
+      it = peers_.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  return pruned;
+}
+
+void PeerHealthTracker::record_eviction(ProcessId peer, Incarnation incarnation) {
+  auto [it, fresh] = tombstones_.try_emplace(peer, incarnation);
+  if (!fresh && incarnation > it->second) it->second = incarnation;
+}
+
+std::optional<Incarnation> PeerHealthTracker::evicted_incarnation(ProcessId peer) const {
+  auto it = tombstones_.find(peer);
+  if (it == tombstones_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PeerHealthTracker::clear_tombstone(ProcessId peer) { tombstones_.erase(peer); }
 
 }  // namespace adgc

@@ -22,6 +22,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
 #include <unordered_map>
 
 #include "src/common/config.h"
@@ -59,7 +62,17 @@ class PeerHealthTracker {
     /// sender-side outgoing-window estimate the shedding bound applies to.
     std::uint32_t outstanding = 0;
     /// Sticky flag for metrics: whether the last verdict was "suspected".
+    /// Cleared by any sign of life, so a recovered peer leaves the
+    /// suspected count even if nobody re-queries its verdict.
     bool suspected = false;
+    /// When the sticky flag last rose (0 = not suspected). The permanent-
+    /// failure escalation requires suspicion to be *sustained* for
+    /// peer_death_timeout before committing the peer dead.
+    SimTime suspected_since = 0;
+    /// Last send/hear/timeout activity on this slot; idle slots past
+    /// peer_health_idle_prune are reclaimed so the table stays bounded
+    /// under peer churn.
+    SimTime last_activity = 0;
   };
 
   PeerHealthTracker(const ProcessConfig& cfg, Metrics& metrics)
@@ -99,6 +112,51 @@ class PeerHealthTracker {
   /// Number of peers currently in the suspected state (diagnostics).
   std::size_t suspected_count() const;
 
+  /// When the current uninterrupted suspicion episode began (0 = the peer is
+  /// not suspected, or suspected() was never queried since it rose).
+  SimTime suspected_since(ProcessId peer) const;
+
+  /// Last time anything arrived from `peer` (0 = never heard).
+  SimTime last_heard(ProcessId peer) const;
+
+  /// Peers with a live health slot (eviction candidate enumeration).
+  std::set<ProcessId> known_peers() const;
+
+  /// Number of tracked slots (the peer_health_slots gauge).
+  std::size_t size() const { return peers_.size(); }
+
+  /// Drops the health slot for `peer` (evicted peers must not keep a slot —
+  /// survivor memory is bounded under churn). The eviction tombstone, if
+  /// any, is kept: tombstones outlive slots by design.
+  void erase_peer(ProcessId peer);
+
+  /// Reclaims slots with no activity for `idle_us` that are not currently
+  /// suspected (a suspected slot is evidence, not garbage). Returns the
+  /// number pruned.
+  std::size_t prune_idle(SimTime now, SimTime idle_us);
+
+  // --- eviction tombstones ---
+  // A tombstone {peer → incarnation} records a committed local eviction:
+  // every incarnation of `peer` up to and including the recorded one is
+  // dead to this process and its traffic is rejected with an Evicted NACK.
+  // A strictly higher incarnation clears the tombstone (the peer restarted
+  // as demanded). Tombstones are volatile — they die with this process —
+  // which is safe: after our own restart the zombie's stale traffic is
+  // filtered by the ordinary incarnation checks or re-handshakes from zero.
+
+  /// Records `peer`'s eviction at `incarnation` (the highest one ever seen).
+  void record_eviction(ProcessId peer, Incarnation incarnation);
+
+  /// The tombstoned incarnation, or nullopt if `peer` is not evicted.
+  std::optional<Incarnation> evicted_incarnation(ProcessId peer) const;
+
+  /// Readmits `peer` (a strictly newer incarnation showed up).
+  void clear_tombstone(ProcessId peer);
+
+  const std::map<ProcessId, Incarnation>& eviction_tombstones() const {
+    return tombstones_;
+  }
+
  private:
   Peer& slot(ProcessId peer) { return peers_[peer]; }
   const Peer* find(ProcessId peer) const {
@@ -110,6 +168,7 @@ class PeerHealthTracker {
   const ProcessConfig& cfg_;
   Metrics& metrics_;
   std::unordered_map<ProcessId, Peer> peers_;
+  std::map<ProcessId, Incarnation> tombstones_;
 };
 
 }  // namespace adgc

@@ -137,6 +137,15 @@ void TcpTransport::send(Envelope env) {
   wake();
 }
 
+void TcpTransport::drop_peer(ProcessId peer) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    drop_inbox_.push_back(peer);
+  }
+  wake();
+}
+
 Incarnation TcpTransport::last_known_incarnation(ProcessId peer) const {
   std::lock_guard<std::mutex> lk(inc_mu_);
   auto it = peer_incarnation_.find(peer);
@@ -219,6 +228,7 @@ void TcpTransport::start_connect(ProcessId peer, SimTime now) {
     ps.next_connect_us = now + backoff_delay(opts_.reconnect_base_us,
                                              opts_.reconnect_cap_us, ps.attempts, rng_);
     metrics_.tcp_reconnect_backoffs.add();
+    if (connect_failed_) connect_failed_(peer);
     return;
   }
   ps.conn = conn.get();
@@ -270,6 +280,7 @@ void TcpTransport::close_conn(Conn* conn, const char* why) {
   metrics_.tcp_disconnects.add();
   ::close(conn->fd);
   conn->fd = -1;
+  const bool was_connecting = conn->connecting;
   if (conn->outbound && conn->peer != kNoProcess) {
     PeerState& ps = peer_state_[conn->peer];
     if (ps.conn == conn) {
@@ -285,6 +296,29 @@ void TcpTransport::close_conn(Conn* conn, const char* why) {
                                        ps.attempts, rng_);
       metrics_.tcp_reconnect_backoffs.add();
     }
+    // A socket that died while still connecting never reached the peer at
+    // all — surface it as a connect failure for suspicion accounting.
+    if (was_connecting && connect_failed_) connect_failed_(conn->peer);
+  }
+}
+
+void TcpTransport::apply_drops() {
+  std::vector<ProcessId> drops;
+  {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    drops.swap(drop_inbox_);
+  }
+  for (ProcessId peer : drops) {
+    for (auto& c : conns_) {
+      if (c->fd >= 0 && c->peer == peer) {
+        c->connecting = false;  // an eviction is not a connect failure
+        close_conn(c.get(), "peer evicted");
+      }
+    }
+    // After close_conn requeued unsent frames into pending, drop the whole
+    // slot: queued frames, sheddable counts, backoff state. Survivor memory
+    // toward a dead peer must not grow — or even persist.
+    peer_state_.erase(peer);
   }
 }
 
@@ -437,7 +471,10 @@ void TcpTransport::io_loop() {
         on_readable(conn);
       }
     }
-    if (!stopping) drain_sends();
+    if (!stopping) {
+      apply_drops();
+      drain_sends();
+    }
 
     // Reap closed connections.
     std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) { return c->fd < 0; });

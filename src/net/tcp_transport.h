@@ -78,6 +78,12 @@ class TcpTransport {
   /// for a peer that was previously known under a lower one — i.e. the peer
   /// crashed and restarted since we last heard from it.
   using PeerRestartFn = std::function<void(ProcessId peer, Incarnation inc)>;
+  /// Called on the IO thread when an outbound connect attempt toward a peer
+  /// fails (immediately, or asynchronously on a still-connecting socket).
+  /// Feeds failure-count suspicion: a SIGKILLed peer whose host refuses our
+  /// connections accrues suspicion even though no request/reply traffic is
+  /// in flight toward it.
+  using ConnectFailedFn = std::function<void(ProcessId peer)>;
 
   TcpTransport(Options opts, Metrics& metrics);
   ~TcpTransport();
@@ -87,6 +93,7 @@ class TcpTransport {
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_peer_restart(PeerRestartFn fn) { peer_restart_ = std::move(fn); }
+  void set_connect_failed(ConnectFailedFn fn) { connect_failed_ = std::move(fn); }
 
   /// Binds + listens + spawns the IO thread. Throws std::runtime_error when
   /// the listen address is unusable.
@@ -99,6 +106,12 @@ class TcpTransport {
   /// Queues an envelope toward env.dst. Thread-safe. Messages to unknown
   /// peers or to self are dropped (counted).
   void send(Envelope env);
+
+  /// Severs every connection to `peer` and discards all frames queued toward
+  /// it, plus its reconnect/backoff state — the transport-level half of peer
+  /// eviction. Thread-safe, applied asynchronously on the IO thread. A later
+  /// send() toward the peer starts from a clean slate (readmission path).
+  void drop_peer(ProcessId peer);
 
   /// Actual listening port (resolves a requested port of 0).
   std::uint16_t port() const { return port_; }
@@ -141,6 +154,7 @@ class TcpTransport {
   void close_conn(Conn* conn, const char* why);
   void accept_ready();
   void drain_sends();
+  void apply_drops();
   void enqueue_frame(PeerState& ps, std::vector<std::byte> frame,
                      std::uint8_t msg_tag);
   void flush_pending_into_conn(ProcessId peer);
@@ -149,6 +163,7 @@ class TcpTransport {
   Metrics& metrics_;
   DeliverFn deliver_;
   PeerRestartFn peer_restart_;
+  ConnectFailedFn connect_failed_;
   Rng rng_;
 
   int listen_fd_ = -1;
@@ -161,7 +176,8 @@ class TcpTransport {
   std::atomic<SimTime> drain_us_{0};
 
   std::mutex send_mu_;
-  std::vector<Envelope> send_inbox_;  // handed to the IO thread via wake()
+  std::vector<Envelope> send_inbox_;   // handed to the IO thread via wake()
+  std::vector<ProcessId> drop_inbox_;  // peers to sever; guarded by send_mu_
 
   std::map<ProcessId, PeerState> peer_state_;          // IO thread only
   std::vector<std::unique_ptr<Conn>> conns_;           // IO thread only

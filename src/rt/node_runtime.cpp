@@ -135,10 +135,23 @@ void NodeRuntime::start() {
                        << " restarted under incarnation " << inc);
     enqueue(std::function<void()>([this, peer] { proc_->on_peer_crashed(peer); }));
   });
+  transport_->set_connect_failed([this](ProcessId peer) {
+    // Bridge onto the loop thread: a refused/unreachable connect counts as a
+    // timed-out interaction for phi-accrual suspicion — it is the only
+    // failure signal a SIGKILLed peer ever produces.
+    enqueue(std::function<void()>([this, peer] {
+      proc_->peer_health().on_timeout(peer, env_->now());
+    }));
+  });
 
   env_ = std::make_unique<NodeEnv>(
       *this, cfg.seed ^ (std::uint64_t{opts_.pid} * 0x9e3779b97f4a7c15ULL));
   proc_ = std::make_unique<Process>(opts_.pid, opts_.cfg.proc, *env_, incarnation_);
+  proc_->set_peer_evicted_hook(
+      [this](ProcessId peer) { transport_->drop_peer(peer); });
+  proc_->set_self_evicted_hook([this](ProcessId) {
+    self_evicted_.store(true, std::memory_order_release);
+  });
   if (incarnation_ > 0) {
     recovered_ = proc_->recover_from_store();
     env_->metrics().process_restarts.add();

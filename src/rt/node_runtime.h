@@ -69,6 +69,11 @@ class NodeRuntime {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   Incarnation incarnation() const { return incarnation_; }
+  /// True once a peer answered this incarnation's traffic with an Evicted
+  /// NACK: the cluster has declared us dead. The only safe move is to exit
+  /// and restart under a fresh incarnation (tools/adgc_node does exactly
+  /// that). Thread-safe.
+  bool self_evicted() const { return self_evicted_.load(std::memory_order_acquire); }
   /// True when start() recovered state from a persisted snapshot.
   bool recovered() const { return recovered_; }
   std::uint16_t port() const { return transport_ ? transport_->port() : 0; }
@@ -109,6 +114,7 @@ class NodeRuntime {
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> loop_stop_{false};
+  std::atomic<bool> self_evicted_{false};
 };
 
 }  // namespace adgc

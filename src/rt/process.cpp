@@ -1,5 +1,6 @@
 #include "src/rt/process.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -338,6 +339,40 @@ void Process::unpin_stub(RefId ref) {
 // --------------------------------------------------------------- delivery
 
 void Process::deliver(const Envelope& envelope) {
+  const ProcessId src = envelope.src;
+  {
+    // Track the highest incarnation ever seen per peer: it is the value an
+    // eviction tombstones, so the zombie's current incarnation is rejected.
+    auto [it, fresh] = peer_incs_.try_emplace(src, envelope.src_inc);
+    if (!fresh && envelope.src_inc > it->second) it->second = envelope.src_inc;
+  }
+  if (const auto dead_inc = peer_health_.evicted_incarnation(src)) {
+    if (envelope.src_inc <= *dead_inc) {
+      metrics().messages_rejected_evicted.add();
+      const bool inbound_nack =
+          !envelope.bytes.empty() &&
+          envelope.bytes[0] == static_cast<std::byte>(MessageTag::kEvictedNack);
+      ADGC_DEBUG("P" << pid_ << " rejecting traffic from evicted P" << src
+                     << " (inc " << envelope.src_inc << " <= tombstone "
+                     << *dead_inc << ")");
+      if (!inbound_nack) {
+        // Tell the zombie it has been committed dead. Sent through the raw
+        // Env, not Process::send — the NACK must not resurrect health or
+        // batcher slots for a peer we just purged. Never NACK a NACK, or two
+        // processes that evicted each other would ping-pong forever.
+        EvictedNackMsg nack;
+        nack.evicted_incarnation = envelope.src_inc;
+        metrics().eviction_nacks_sent.add();
+        env_.send(src, nack);
+      }
+      return;
+    }
+    // Strictly newer incarnation: the peer restarted as the NACK demanded.
+    // Readmit it — its references re-enter through the AddScion handshake.
+    peer_health_.clear_tombstone(src);
+    ADGC_INFO("P" << pid_ << " readmits P" << src << " at incarnation "
+                  << envelope.src_inc << " (tombstone lifted)");
+  }
   // Any inbound traffic is a liveness signal for the sending peer.
   peer_health_.on_heard(envelope.src, env_.now());
   MessagePayload payload;
@@ -383,6 +418,10 @@ void Process::dispatch(ProcessId src, const MessagePayload& payload) {
           gtrace_->on_finish(src, msg);
         } else if constexpr (std::is_same_v<T, BatchMsg>) {
           on_batch(src, msg);
+        } else if constexpr (std::is_same_v<T, EvictedNackMsg>) {
+          on_evicted_nack(src, msg);
+        } else if constexpr (std::is_same_v<T, NssSolicitMsg>) {
+          on_nss_solicit(src);
         }
       },
       payload);
@@ -567,6 +606,15 @@ void Process::on_cycle_found(DetectionId id, RefId candidate, std::uint64_t expe
 // -------------------------------------------------------------- collectors
 
 void Process::run_lgc() {
+  if (cfg_.dgc_enabled && cfg_.peer_death_timeout_us > 0) maybe_evict_peers();
+  if (cfg_.peer_health_idle_prune_us > 0) {
+    const std::size_t pruned =
+        peer_health_.prune_idle(env_.now(), cfg_.peer_health_idle_prune_us);
+    if (pruned > 0) metrics().peer_health_slots_pruned.add(pruned);
+  }
+  // Gauge semantics via reset+add: the table size as of this LGC.
+  metrics().peer_health_slots.reset();
+  metrics().peer_health_slots.add(peer_health_.size());
   if (cfg_.dgc_enabled) {
     // Expire never-confirmed scions whose reference demonstrably never
     // reached its holder (delivery lost; nobody will ever account for it).
@@ -701,6 +749,165 @@ void Process::on_peer_crashed(ProcessId crashed) {
   // whole, so discard it here and save the wire bytes.
   batcher_->discard_peer(crashed);
   if (cfg_.dcda_enabled) detector_->abort_for_crash(crashed, env_.now());
+}
+
+void Process::on_evicted_nack(ProcessId src, const EvictedNackMsg& msg) {
+  metrics().eviction_nacks_received.add();
+  // Only a NACK aimed at THIS incarnation matters; one addressed to a dead
+  // predecessor was already answered by our restart.
+  if (msg.evicted_incarnation != incarnation_ || self_evicted_) return;
+  self_evicted_ = true;
+  ADGC_ERROR("P" << pid_ << " (inc " << incarnation_ << ") was evicted by P" << src
+                 << ": this incarnation is committed dead, restart required");
+  if (self_evicted_hook_) self_evicted_hook_(src);
+}
+
+void Process::on_nss_solicit(ProcessId src) {
+  if (!cfg_.dgc_enabled) return;
+  // Answer unconditionally and immediately, bypassing the suspected-peer
+  // NSS deferral gate: the solicitor is about to convict us on silence, and
+  // an empty set is as meaningful an answer as a full one — it expires
+  // every scion we no longer (or never) back, e.g. after we restarted from
+  // a snapshot predating the stubs.
+  std::map<ProcessId, NewSetStubsMsg> reply =
+      build_all_new_set_stubs(stubs_, {src});
+  NewSetStubsMsg& msg = reply.at(src);
+  msg.export_seq = incarnation_epoch(incarnation_, ++nss_seq_[src]);
+  metrics().new_set_stubs_sent.add();
+  send(src, msg);
+}
+
+void Process::maybe_evict_peers() {
+  const SimTime now = env_.now();
+  const SimTime timeout = cfg_.peer_death_timeout_us;
+  // Observation epoch: silence can only convict once we have been watching
+  // for a full timeout (first call arms the clock — eviction always takes
+  // at least two LGC passes, never fires on a cold start).
+  if (evict_watch_since_ == 0) {
+    evict_watch_since_ = now > 0 ? now : 1;
+    return;
+  }
+  // Eviction proper requires sustained phi-accrual/failure suspicion for a
+  // full timeout — silence alone never convicts, because silence cannot
+  // distinguish a dead holder from one that restarted from a snapshot
+  // predating our stubs (it legitimately never speaks to us again) or from
+  // a partitioned-but-alive one. Scion holders silent past the timeout are
+  // instead probed with NssSolicit: a live holder answers with its
+  // authoritative (possibly empty) NewSetStubs, expiring any orphan scions
+  // it no longer backs; a dead one leaves the probe unanswered, which
+  // scores a timeout strike and pushes it into the suspicion escalation.
+  std::set<ProcessId> holders;
+  for (const auto& [ref, scion] : scions_) {
+    (void)ref;
+    if (scion.holder != kNoProcess) holders.insert(scion.holder);
+  }
+  std::set<ProcessId> candidates = peer_health_.known_peers();
+  candidates.insert(holders.begin(), holders.end());
+  for (ProcessId peer : candidates) {
+    if (peer == pid_ || peer_health_.evicted_incarnation(peer)) continue;
+    bool dead = false;
+    if (peer_health_.suspected(peer, now)) {
+      const SimTime since = peer_health_.suspected_since(peer);
+      dead = since > 0 && now >= since + timeout;
+    }
+    if (!dead && holders.contains(peer)) {
+      const SimTime heard = peer_health_.last_heard(peer);
+      const SimTime baseline = std::max(heard, evict_watch_since_);
+      if (now >= baseline + timeout) {
+        const auto probe = nss_solicits_.find(peer);
+        if (probe != nss_solicits_.end() && heard < probe->second) {
+          // The previous probe went unanswered for a whole timeout: strike.
+          peer_health_.on_timeout(peer, now);
+        }
+        metrics().nss_solicits_sent.add();
+        send(peer, NssSolicitMsg{});
+        nss_solicits_[peer] = now;
+      }
+    }
+    if (dead) evict_peer(peer);
+  }
+}
+
+void Process::evict_peer(ProcessId peer) {
+  if (peer == pid_ || peer_health_.evicted_incarnation(peer)) return;
+  const auto inc_it = peer_incs_.find(peer);
+  const Incarnation inc = inc_it == peer_incs_.end() ? 0 : inc_it->second;
+  peer_health_.record_eviction(peer, inc);
+  metrics().peers_evicted.add();
+  ADGC_ERROR("P" << pid_ << " commits P" << peer
+                 << " permanently dead (tombstone inc " << inc << "): evicting");
+
+  // 1. Scions held by the dead peer. Its tombstoned incarnation can never
+  //    invoke again, and a fresh incarnation must re-export through the
+  //    AddScion handshake (minting new RefIds), so dropping these lets the
+  //    mark-sweep below reclaim everything only the dead peer kept alive.
+  for (RefId ref : scions_.refs_from_holder(peer)) {
+    scions_.erase(ref);
+    candidate_failures_.erase(ref);
+    candidate_not_before_.erase(ref);
+    metrics().eviction_scions_dropped.add();
+  }
+  scions_.forget_holder(peer);
+
+  // 2. In-flight detections: any CDM path may cross the dead peer and would
+  //    then only expire by timeout. Abort them all (the crash rule) and
+  //    re-quarantine still-existing candidates under the relaunch backoff.
+  if (cfg_.dcda_enabled) {
+    const auto aborted = detector_->abort_for_crash(peer, env_.now());
+    metrics().detections_aborted_eviction.add(aborted.size());
+    for (const auto& rec : aborted) {
+      if (scions_.contains(rec.candidate)) note_detection_timeout(rec.candidate);
+    }
+  }
+
+  // 3. Export handshakes whose owner is the dead peer can never be acked;
+  //    abandon them — and the invocations waiting on them — now instead of
+  //    grinding through the retry ladder.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> doomed;  // (handshake, call)
+  for (const auto& [id, hs] : handshakes_) {
+    if (hs.owner == peer) doomed.emplace_back(id, hs.call_id);
+  }
+  for (const auto& [id, call_id] : doomed) {
+    auto it = handshakes_.find(id);
+    if (it == handshakes_.end()) continue;  // sibling teardown got it first
+    metrics().add_scion_abandoned.add();
+    unpin_stub(it->second.pinned_stub);
+    handshakes_.erase(it);
+    abandon_invoke(call_id);
+  }
+
+  // 4. Stubs toward the dead peer: their targets died with it. Strip every
+  //    holding field first so heap and reference listing stay exact, then
+  //    retire the stub itself.
+  std::vector<RefId> dead_refs;
+  for (const auto& [ref, stub] : stubs_) {
+    if (stub.target.owner == peer) dead_refs.push_back(ref);
+  }
+  for (RefId ref : dead_refs) {
+    for (auto& [seq, obj] : heap_.objects()) {
+      (void)seq;
+      auto& rf = obj.remote_fields;
+      rf.erase(std::remove(rf.begin(), rf.end(), ref), rf.end());
+    }
+    pinned_.erase(ref);
+    pinned_set_.erase(ref);
+    stubs_.erase(ref);
+    metrics().eviction_stubs_retired.add();
+    metrics().stubs_deleted.add();
+  }
+
+  // 5. Reference-listing and transport-side state toward the peer, so
+  //    survivor memory stays bounded under churn.
+  contacts_.erase(peer);
+  nss_seq_.erase(peer);
+  nss_gates_.erase(peer);
+  nss_solicits_.erase(peer);
+  for (auto it = inflight_calls_.begin(); it != inflight_calls_.end();) {
+    it = it->second.first == peer ? inflight_calls_.erase(it) : ++it;
+  }
+  batcher_->discard_peer(peer);
+  peer_health_.erase_peer(peer);
+  if (peer_evicted_hook_) peer_evicted_hook_(peer);
 }
 
 void Process::note_detection_timeout(RefId candidate) {

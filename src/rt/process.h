@@ -132,6 +132,33 @@ class Process {
   /// process); the periodic scan restarts surviving candidates later.
   void on_peer_crashed(ProcessId crashed);
 
+  /// Commits `peer` permanently dead NOW: drops all scions it holds (the
+  /// next mark-sweep reclaims whatever only it kept alive), retires all
+  /// stubs toward it, aborts and re-quarantines in-flight detections,
+  /// purges batcher/backoff/peer-health state, and installs an eviction
+  /// tombstone at the highest incarnation ever heard from it. Normally
+  /// driven by the peer_death_timeout escalation inside run_lgc; public so
+  /// tests and operators can force an eviction. Idempotent.
+  void evict_peer(ProcessId peer);
+
+  /// True once a peer rejected this incarnation with an Evicted NACK. The
+  /// only way forward is to stop and restart under a fresh incarnation;
+  /// everything this process sends meanwhile is rejected by the evictor.
+  bool self_evicted() const { return self_evicted_; }
+
+  /// Fires (once) when the first Evicted NACK aimed at this incarnation
+  /// arrives; `evictor` is the rejecting peer. The node runtime uses it to
+  /// trigger an orderly exit-and-restart.
+  void set_self_evicted_hook(std::function<void(ProcessId evictor)> fn) {
+    self_evicted_hook_ = std::move(fn);
+  }
+
+  /// Fires after evict_peer() finished purging local state; the node
+  /// runtime uses it to tear down the transport connection and its queues.
+  void set_peer_evicted_hook(std::function<void(ProcessId peer)> fn) {
+    peer_evicted_hook_ = std::move(fn);
+  }
+
   /// Starts a baseline back-tracing detection on a scion (bench/tests).
   void start_backtrace(RefId candidate);
 
@@ -207,6 +234,16 @@ class Process {
   void on_add_scion(ProcessId src, const AddScionMsg& msg);
   void on_add_scion_ack(ProcessId src, const AddScionAckMsg& msg);
   void on_cdm(ProcessId src, const CdmMsg& msg);
+  void on_evicted_nack(ProcessId src, const EvictedNackMsg& msg);
+  void on_nss_solicit(ProcessId src);
+
+  /// Permanent-failure escalation, run at the top of every LGC: commits a
+  /// peer dead after `peer_death_timeout_us` of sustained suspicion. Scion
+  /// holders silent past the timeout are probed with NssSolicit first —
+  /// their (possibly empty) NewSetStubs answer expires orphan scions, and
+  /// an unanswered probe feeds the suspicion escalation instead of
+  /// convicting on silence alone (see the comment in the definition).
+  void maybe_evict_peers();
 
   // Export machinery.
   ExportedRef begin_third_party_export(RefId held, ProcessId receiver,
@@ -259,6 +296,22 @@ class Process {
   std::map<RefId, SimTime> candidate_not_before_;       // re-launch backoff
   std::map<RefId, std::uint32_t> pinned_;  // stub pin counts
   std::set<RefId> pinned_set_;             // cached key set for the LGC
+
+  /// Highest incarnation ever seen (envelope src_inc) per peer: the value an
+  /// eviction tombstones, so the zombie's *current* incarnation — not just
+  /// some ancient one — is rejected.
+  std::map<ProcessId, Incarnation> peer_incs_;
+  /// When the eviction escalation started watching (first run_lgc with
+  /// eviction enabled); the silence baseline for scion holders we have
+  /// never heard from at all.
+  SimTime evict_watch_since_ = 0;
+  /// Scion-holder lease probes: when each silent holder was last sent an
+  /// NssSolicit. An entry whose send time is newer than the holder's
+  /// last_heard means the probe went unanswered — a timeout strike.
+  std::map<ProcessId, SimTime> nss_solicits_;
+  bool self_evicted_ = false;
+  std::function<void(ProcessId)> self_evicted_hook_;
+  std::function<void(ProcessId)> peer_evicted_hook_;
 
   std::unique_ptr<Serializer> serializer_;
   std::unique_ptr<Summarizer> summarizer_;

@@ -46,6 +46,11 @@ struct ChaosSweepParams {
   /// Fault-free settle after the storm; must exceed the largest detection
   /// backoff (`detection_backoff_cap_us`) so deferred candidates re-launch.
   SimTime settle_us = 12'000'000;
+  /// Permanent-failure eviction window (ProcessConfig::peer_death_timeout_us;
+  /// 0 keeps eviction off). When enabled it must exceed every transient
+  /// silence the storm produces — partitions, crash downtime — or a live
+  /// peer gets falsely evicted and its sentinel scion dropped (live_lost).
+  SimTime peer_death_timeout_us = 0;
   /// Snapshot-store directory; empty = unique directory under system temp.
   std::string snapshot_dir;
 };

@@ -61,9 +61,13 @@ struct NodeView {
   std::size_t chain_live = SIZE_MAX;  // unknown until first status line
   bool sentinel_live = true;
   std::uint64_t snaps = 0;
+  std::size_t stubs = SIZE_MAX;   // unknown until first status line
+  std::size_t scions = SIZE_MAX;  // unknown until first status line
+  std::uint64_t evictions = 0;    // peers this node evicted
   bool planted = false;
   bool root_dropped = false;
   bool saw_status = false;
+  bool evicted_exit = false;  // node printed NODE-EVICTED (NACKed off)
 };
 
 struct Child {
@@ -102,10 +106,15 @@ void apply_line(Child& c, const std::string& line, bool verbose) {
     c.view.chain_live = static_cast<std::size_t>(kv_u64(kv, "chain_live"));
     c.view.sentinel_live = kv_u64(kv, "sentinel_live") != 0;
     c.view.snaps = kv_u64(kv, "snaps");
+    c.view.stubs = static_cast<std::size_t>(kv_u64(kv, "stubs"));
+    c.view.scions = static_cast<std::size_t>(kv_u64(kv, "scions"));
+    c.view.evictions = kv_u64(kv, "evictions");
   } else if (line.rfind("NODE-PLANTED", 0) == 0) {
     c.view.planted = true;
   } else if (line.rfind("NODE-ROOT-DROPPED", 0) == 0) {
     c.view.root_dropped = true;
+  } else if (line.rfind("NODE-EVICTED", 0) == 0) {
+    c.view.evicted_exit = true;
   }
 }
 
@@ -239,7 +248,10 @@ std::string describe(const std::vector<Child>& children) {
     out << " node" << i << "{t_ms=" << v.t_ms << " chain_live="
         << (v.chain_live == SIZE_MAX ? -1 : static_cast<long>(v.chain_live))
         << " sentinel=" << v.sentinel_live << " snaps=" << v.snaps
-        << " recovered=" << v.recovered << " exited=" << children[i].exited << "}";
+        << " stubs=" << (v.stubs == SIZE_MAX ? -1 : static_cast<long>(v.stubs))
+        << " scions=" << (v.scions == SIZE_MAX ? -1 : static_cast<long>(v.scions))
+        << " evictions=" << v.evictions << " recovered=" << v.recovered
+        << " exited=" << children[i].exited << "}";
   }
   return out.str();
 }
@@ -254,6 +266,13 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
   }
   if (opts.nodes < 2) {
     res.failure = "need at least 2 nodes";
+    return res;
+  }
+  const bool zombie = opts.zombie;
+  const bool kill_forever = !zombie && opts.kill_forever;
+  const bool kill_restart = !zombie && !kill_forever && opts.kill_restart;
+  if ((zombie || kill_forever) && opts.peer_death_timeout_ms == 0) {
+    res.failure = "kill_forever/zombie require peer_death_timeout_ms > 0";
     return res;
   }
   std::filesystem::create_directories(opts.state_dir);
@@ -289,6 +308,10 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
         "--drop-root-after-ms=" + std::to_string(opts.drop_root_after_ms),
         "--status-every-ms=100",
     };
+    if (opts.peer_death_timeout_ms > 0) {
+      c.argv.push_back("--peer-death-timeout-ms=" +
+                       std::to_string(opts.peer_death_timeout_ms));
+    }
     if (opts.verbose) c.argv.push_back("--verbose");
     if (!spawn(c, &res.failure)) {
       kill_all(children, SIGKILL);
@@ -297,12 +320,36 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
     }
   }
 
-  const std::size_t victim = opts.kill_restart ? 1 : SIZE_MAX;
-  enum class Phase { kWaitKillPoint, kWaitRestart, kWaitCollected } phase =
-      opts.kill_restart ? Phase::kWaitKillPoint : Phase::kWaitCollected;
+  const bool has_victim = kill_restart || kill_forever || zombie;
+  const std::size_t victim = has_victim ? 1 : SIZE_MAX;
+  enum class Phase {
+    kWaitKillPoint,
+    kWaitSurvivorsClean,  // zombie: victim stopped; survivors must evict+drain
+    kWaitZombieExit,      // zombie: victim resumed; must be NACKed off (exit 3)
+    kWaitRestart,
+    kWaitCollected,
+  } phase = has_victim ? Phase::kWaitKillPoint : Phase::kWaitCollected;
+  bool victim_gone_forever = false;  // kill_forever: dead by our hand, stays dead
   const std::uint64_t start = now_ms();
   const std::uint64_t deadline = start + opts.timeout_ms;
   std::string fail;
+
+  // A node's stranded-state drain verdict: planted cycle slice reclaimed,
+  // sentinel intact, and (eviction legs) zero stubs and scions left.
+  const auto node_clean = [&](std::size_t i) {
+    const NodeView& v = children[i].view;
+    if (!v.saw_status || v.chain_live != 0 || !v.sentinel_live) return false;
+    if (kill_forever || zombie) {
+      if (v.stubs != 0 || v.scions != 0) return false;
+    }
+    return true;
+  };
+  const auto any_eviction = [&] {
+    for (std::size_t i = 0; i < opts.nodes; ++i) {
+      if (i != victim && children[i].view.evictions >= 1) return true;
+    }
+    return false;
+  };
 
   while (now_ms() < deadline) {
     pump_output(children, opts.verbose);
@@ -319,9 +366,14 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
     if (!fail.empty()) break;
 
     // A node exiting before it was asked to is a failure (bind error, bad
-    // flag, crash) — except the victim right after our own SIGKILL.
+    // flag, crash) — except the victim where its death is the experiment:
+    // right after our own SIGKILL, permanently in the kill-forever leg, and
+    // the expected NACK-driven exit of the resumed zombie.
     for (std::size_t i = 0; i < opts.nodes; ++i) {
-      if (children[i].exited && !(i == victim && phase == Phase::kWaitRestart)) {
+      const bool victim_exit_expected =
+          i == victim && (phase == Phase::kWaitRestart || victim_gone_forever ||
+                          phase == Phase::kWaitZombieExit);
+      if (children[i].exited && !victim_exit_expected) {
         fail = "node " + std::to_string(i) + " exited prematurely (status " +
                std::to_string(children[i].exit_status) + "):" + describe(children);
         break;
@@ -330,15 +382,56 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
     if (!fail.empty()) break;
 
     if (phase == Phase::kWaitKillPoint) {
-      // Kill once the cycle is garbage (root dropped) and the victim has a
+      // Strike once the cycle is garbage (root dropped) and the victim has a
       // snapshot covering its planted slice — the most adversarial moment:
       // detection is in flight, and recovery must resurrect enough state
       // for it to finish.
       if (children[0].view.root_dropped && children[victim].view.snaps >= 1) {
+        if (zombie) {
+          // Freeze, don't kill: the process keeps every socket and its
+          // in-memory state, and will resume believing it is still a
+          // cluster member — the perfect zombie.
+          ::kill(children[victim].pid, SIGSTOP);
+          phase = Phase::kWaitSurvivorsClean;
+          continue;
+        }
         ::kill(children[victim].pid, SIGKILL);
         int status = 0;
         ::waitpid(children[victim].pid, &status, 0);
         children[victim].exited = true;
+        if (children[victim].out_fd >= 0) {
+          ::close(children[victim].out_fd);
+          children[victim].out_fd = -1;
+        }
+        if (kill_forever) {
+          victim_gone_forever = true;
+          phase = Phase::kWaitCollected;
+          continue;
+        }
+        children[victim].view = NodeView{};  // fresh view for the new life
+        if (!spawn(children[victim], &fail)) break;
+        phase = Phase::kWaitRestart;
+      }
+    } else if (phase == Phase::kWaitSurvivorsClean) {
+      bool clean = any_eviction();
+      for (std::size_t i = 0; clean && i < opts.nodes; ++i) {
+        if (i != victim && !node_clean(i)) clean = false;
+      }
+      if (clean) {
+        res.victim_evicted = true;
+        ::kill(children[victim].pid, SIGCONT);
+        phase = Phase::kWaitZombieExit;
+      }
+    } else if (phase == Phase::kWaitZombieExit) {
+      if (children[victim].exited) {
+        const int st = children[victim].exit_status;
+        if (!WIFEXITED(st) || WEXITSTATUS(st) != 3 ||
+            !children[victim].view.evicted_exit) {
+          fail = "resumed zombie did not exit on the Evicted NACK (status " +
+                 std::to_string(st) + "):" + describe(children);
+          break;
+        }
+        res.zombie_nacked = true;
         if (children[victim].out_fd >= 0) {
           ::close(children[victim].out_fd);
           children[victim].out_fd = -1;
@@ -360,14 +453,17 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
     } else {  // kWaitCollected
       bool done = true;
       for (std::size_t i = 0; i < opts.nodes; ++i) {
-        const NodeView& v = children[i].view;
-        if (!v.saw_status || v.chain_live != 0 || !v.sentinel_live) done = false;
+        if (i == victim && victim_gone_forever) continue;  // dead, by design
+        if (!node_clean(i)) done = false;
       }
+      if (done && kill_forever && !any_eviction()) done = false;
       if (done) {
-        // Clean shutdown: SIGTERM everyone, expect exit code 0.
+        if (kill_forever || zombie) res.victim_evicted = true;
+        // Clean shutdown: SIGTERM everyone alive, expect exit code 0.
         kill_all(children, SIGTERM);
         wait_all(children, 10'000);
         for (std::size_t i = 0; i < opts.nodes; ++i) {
+          if (i == victim && victim_gone_forever) continue;  // died by SIGKILL
           const int st = children[i].exit_status;
           if (!WIFEXITED(st) || WEXITSTATUS(st) != 0) {
             fail = "node " + std::to_string(i) + " did not drain cleanly (status " +

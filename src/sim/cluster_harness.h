@@ -25,6 +25,22 @@ struct ClusterHarnessOptions {
   /// SIGKILL node 1 after the root drop and restart it (incarnation
   /// recovery leg). Requires nodes >= 2.
   bool kill_restart = true;
+  /// SIGKILL node 1 after the root drop and NEVER restart it: the survivors
+  /// must evict the dead peer and reclaim every stub/scion toward it within
+  /// the timeout budget. Requires peer_death_timeout_ms > 0; overrides
+  /// kill_restart.
+  bool kill_forever = false;
+  /// SIGSTOP node 1 after the root drop, wait until the survivors evicted
+  /// it and cleaned up, then SIGCONT it: the zombie's stale-incarnation
+  /// traffic must be rejected with an Evicted NACK (node exits with code 3),
+  /// after which the harness respawns it and the fresh incarnation must
+  /// recover and re-integrate until the whole cluster is clean. Requires
+  /// peer_death_timeout_ms > 0; overrides kill_restart and kill_forever.
+  bool zombie = false;
+  /// Passed to every node as --peer-death-timeout-ms when > 0. Must exceed
+  /// any transient silence of the run (here: comfortably above the status/
+  /// collector periods) and stay well under timeout_ms.
+  std::uint64_t peer_death_timeout_ms = 0;
   /// Overall wall-clock budget before the harness declares failure.
   std::uint64_t timeout_ms = 90'000;
   /// Scratch directory for incarnation files + snapshots (required; the
@@ -42,6 +58,11 @@ struct ClusterResult {
   std::string failure;
   /// Observability: did the restarted node report snapshot recovery?
   bool victim_recovered = false;
+  /// Eviction legs: some survivor reported peers_evicted >= 1.
+  bool victim_evicted = false;
+  /// Zombie leg: the resumed stale incarnation exited with the Evicted-NACK
+  /// status (3) after printing NODE-EVICTED.
+  bool zombie_nacked = false;
   std::uint64_t elapsed_ms = 0;
 };
 

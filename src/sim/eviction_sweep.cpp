@@ -1,0 +1,120 @@
+#include "src/sim/eviction_sweep.h"
+
+#include <sstream>
+#include <vector>
+
+#include "src/sim/harness.h"
+#include "src/sim/scenarios.h"
+
+namespace adgc::sim {
+
+EvictionSweepResult run_eviction_sweep(const EvictionSweepParams& p) {
+  RuntimeConfig cfg = fast_config(p.seed);
+  cfg.proc.peer_death_timeout_us = p.peer_death_timeout_us;
+
+  Runtime rt(p.procs, cfg);
+  const std::size_t n = p.procs;
+  const ProcessId victim = p.victim;
+
+  // The garbage-to-be: one ring segment per process, anchored at P0.
+  const Ring ring = build_ring(rt, n, /*objs_per_proc=*/1, /*pin_first=*/true);
+
+  // Live sentinel ring: rooted L_p → unrooted N_{p+1}. The refs double as
+  // the invocation workload's path, so every process builds request/reply
+  // history with its successor — the history phi-accrual suspicion needs.
+  std::vector<ObjectId> L, N;
+  std::vector<RefId> sentinel_refs;
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    L.push_back(ObjectId{pid, rt.proc(pid).create_object()});
+    N.push_back(ObjectId{pid, rt.proc(pid).create_object()});
+    rt.proc(pid).add_root(L.back().seq);
+  }
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    sentinel_refs.push_back(
+        rt.link(L[pid], N[(pid + 1) % n]));
+  }
+
+  // One round of sentinel invocations from every live process whose ref
+  // still exists (eviction retires the stub toward the victim; invoking a
+  // gone ref would throw).
+  const auto invoke_round = [&] {
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      if (!rt.alive(pid)) continue;
+      if (!rt.proc(pid).stubs().contains(sentinel_refs[pid])) continue;
+      rt.proc(pid).invoke(L[pid].seq, sentinel_refs[pid], InvokeEffect::kTouch,
+                          {}, /*want_reply=*/true);
+    }
+  };
+
+  // Fault-free build-out with workload.
+  for (SimTime t = 0; t < p.warmup_us; t += p.invoke_period_us) {
+    invoke_round();
+    rt.run_for(p.invoke_period_us);
+  }
+
+  // The ring becomes garbage; shortly after, the victim dies forever.
+  rt.proc(0).remove_root(ring.anchors[0].seq);
+  rt.run_for(100'000);
+  rt.crash(victim);
+
+  for (SimTime t = 0; t < p.run_us; t += p.invoke_period_us) {
+    invoke_round();
+    rt.run_for(p.invoke_period_us);
+  }
+
+  // Verdicts.
+  EvictionSweepResult res;
+  std::ostringstream detail;
+
+  res.stranded_reclaimed = true;
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    if (!rt.alive(pid)) continue;
+    for (const auto& [ref, stub] : rt.proc(pid).stubs()) {
+      if (stub.target.owner == victim) {
+        res.stranded_reclaimed = false;
+        detail << "P" << pid << " still holds stub " << ref_to_string(ref)
+               << " toward dead P" << victim << "; ";
+      }
+    }
+    for (const auto& [ref, scion] : rt.proc(pid).scions()) {
+      if (scion.holder == victim) {
+        res.stranded_reclaimed = false;
+        detail << "P" << pid << " still holds scion " << ref_to_string(ref)
+               << " from dead P" << victim << "; ";
+      }
+    }
+    if (ring.heads[pid].owner == pid &&
+        rt.proc(pid).heap().exists(ring.heads[pid].seq)) {
+      res.stranded_reclaimed = false;
+      detail << "ring object " << to_string(ring.heads[pid]) << " uncollected; ";
+    }
+  }
+
+  res.sentinels_intact = true;
+  const ProcessId orphaned = static_cast<ProcessId>((victim + 1) % n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    if (!rt.alive(pid)) continue;
+    if (!rt.proc(pid).heap().exists(L[pid].seq)) {
+      res.sentinels_intact = false;
+      detail << "rooted sentinel lost on P" << pid << "; ";
+    }
+    // N_{victim+1}'s only keeper was the victim: it must be reclaimed, not
+    // preserved. Everywhere else the keeper is alive and rooted.
+    const bool n_alive = rt.proc(pid).heap().exists(N[pid].seq);
+    if (pid == orphaned ? n_alive : !n_alive) {
+      res.sentinels_intact = false;
+      detail << "sentinel N on P" << pid << (n_alive ? " kept alive" : " lost")
+             << " wrongly; ";
+    }
+  }
+
+  const Metrics total = rt.total_metrics();
+  res.peers_evicted = total.peers_evicted.get();
+  res.eviction_stubs_retired = total.eviction_stubs_retired.get();
+  res.eviction_scions_dropped = total.eviction_scions_dropped.get();
+  if (res.peers_evicted == 0) detail << "no eviction fired; ";
+  res.detail = detail.str();
+  return res;
+}
+
+}  // namespace adgc::sim

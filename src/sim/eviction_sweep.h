@@ -1,0 +1,68 @@
+// Permanent-failure eviction sweep — the dead-peer reclamation acceptance
+// harness.
+//
+// Six processes carry a distributed garbage ring (one segment per process)
+// plus a ring of live sentinels (rooted L_p holding a remote reference to
+// the unrooted N_{p+1}). A periodic invocation workload flows along the
+// sentinel ring so every process has an interaction history with its
+// neighbours. Then the ring's anchor root is dropped and one process is
+// crashed FOREVER — no restart, no notification beyond the crash event the
+// runtime already emits.
+//
+// Without eviction the victim's neighbours are stuck: the scion the victim
+// held pins a ring segment forever, and the stub toward the victim sits in
+// the survivor's tables for the rest of the run. With
+// `peer_death_timeout_us` set, sustained suspicion (the neighbour invoking
+// into the void) and the scion-holder lease (the victim owes a NewSetStubs
+// every LGC period and stays silent) both escalate into eviction, after
+// which every stranded stub and scion must drain in bounded time — while
+// the sentinels on the survivors stay untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+
+namespace adgc::sim {
+
+struct EvictionSweepParams {
+  std::uint64_t seed = 1;
+  std::size_t procs = 6;
+  /// The process killed forever. Keep it off 0 (the ring anchor's owner).
+  ProcessId victim = 2;
+  /// Eviction window (ProcessConfig::peer_death_timeout_us).
+  SimTime peer_death_timeout_us = 1'000'000;
+  /// Fault-free build-out before the anchor root drops.
+  SimTime warmup_us = 400'000;
+  /// Post-crash run; must cover peer_death_timeout plus a few LGC/NSS
+  /// rounds for the reclamation cascade to drain.
+  SimTime run_us = 5'000'000;
+  /// Sentinel-ring invocation period (builds the interaction history that
+  /// feeds suspicion).
+  SimTime invoke_period_us = 50'000;
+};
+
+struct EvictionSweepResult {
+  /// No survivor still holds a stub toward the victim or a scion from it,
+  /// and every ring object on a survivor was reclaimed.
+  bool stranded_reclaimed = false;
+  /// Rooted sentinels survived everywhere; the kept sentinels survived on
+  /// every process except the victim's successor (whose only keeper WAS the
+  /// victim — reclaiming it is the point, not a safety violation).
+  bool sentinels_intact = false;
+  std::uint64_t peers_evicted = 0;
+  std::uint64_t eviction_stubs_retired = 0;
+  std::uint64_t eviction_scions_dropped = 0;
+  std::string detail;  // human-readable diagnosis on failure
+
+  bool ok() const {
+    return stranded_reclaimed && sentinels_intact && peers_evicted >= 1;
+  }
+};
+
+/// Runs one kill-forever sweep; deterministic in `params.seed`.
+EvictionSweepResult run_eviction_sweep(const EvictionSweepParams& params);
+
+}  // namespace adgc::sim

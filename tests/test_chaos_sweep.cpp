@@ -71,6 +71,25 @@ TEST(ChaosSweep, DegradationOraclesHoldWithAndWithoutBatching) {
   }
 }
 
+// Permanent-failure eviction armed during the same storm must be a no-op:
+// a peer_death_timeout comfortably above every transient silence the sweep
+// injects (partitions and crash downtime are both well under a second) may
+// never fire a false eviction, so the safety and completeness oracles must
+// hold exactly as in the eviction-disabled baseline.
+TEST(ChaosSweep, EvictionArmedMatchesDisabledBaseline) {
+  for (const SimTime timeout_us : {SimTime{0}, SimTime{5'000'000}}) {
+    sim::ChaosSweepParams p;
+    p.seed = 5;
+    p.peer_death_timeout_us = timeout_us;
+    const sim::ChaosSweepResult res = sim::run_chaos_sweep(p);
+    EXPECT_FALSE(res.live_lost)
+        << "SAFETY eviction_timeout_us=" << timeout_us << ": " << res.detail;
+    EXPECT_TRUE(res.cycles_collected)
+        << "COMPLETENESS eviction_timeout_us=" << timeout_us << ": " << res.detail;
+    EXPECT_EQ(res.crashes, res.recovered) << "eviction_timeout_us=" << timeout_us;
+  }
+}
+
 class BackoffComparisonTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BackoffComparisonTest, AdaptiveSendsFewerRetries) {

@@ -29,7 +29,7 @@ constexpr cli::FlagSpec kFlags[] = {
                         "delay (delay-bounded dfs; bound = --preemptions), pct\n"
                         "(randomized priorities with --preemptions change points),\n"
                         "replay (re-execute --trace-in) (default dfs)"},
-    {"--scenario", "X", "fig1 | fig3 | fig4 | fig5 | race (default fig3)"},
+    {"--scenario", "X", "fig1 | fig3 | fig4 | fig5 | race | evict (default fig3)"},
     {"--steps", "N", "max decisions per schedule (default 60)"},
     {"--schedules", "N", "max schedules to explore (default 10000)"},
     {"--preemptions", "N", "delay bound (delay) / priority change points (pct)\n"
@@ -250,11 +250,12 @@ int run_explore(const Options& opt) {
               static_cast<long long>(ms), res.exhausted ? " (search exhausted)" : "",
               res.hit_time_budget ? " (time budget hit)" : "");
   std::printf("protocol activity: detections=%llu cycles_collected=%llu "
-              "ic_aborts=%llu deliveries=%llu\n",
+              "ic_aborts=%llu deliveries=%llu evictions=%llu\n",
               static_cast<unsigned long long>(res.detections_started),
               static_cast<unsigned long long>(res.cycles_collected),
               static_cast<unsigned long long>(res.detections_aborted_ic),
-              static_cast<unsigned long long>(res.messages_delivered));
+              static_cast<unsigned long long>(res.messages_delivered),
+              static_cast<unsigned long long>(res.peers_evicted));
 
   if (!res.failure) {
     std::printf("no violation found.\n");

@@ -25,7 +25,9 @@
 //   NODE id=.. inc=.. t_ms=.. recovered=.. objects=.. chain_live=..
 //        sentinel_live=.. stubs=.. scions=.. cycles=.. snaps=..
 // A final "NODE-EXIT ..." line is printed on the clean SIGTERM drain path.
-// Exit status: 0 on clean drain, 2 on usage errors.
+// Exit status: 0 on clean drain, 2 on usage errors, 3 when the cluster
+// evicted this incarnation (a NODE-EVICTED line precedes the exit; the
+// supervisor should simply respawn — the incarnation file bumps on start).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +62,7 @@ struct Options {
   // Collector tuning (wall-clock ms; defaults fit a localhost cluster).
   SimTime lgc_ms = 25, snapshot_ms = 60, dcda_ms = 80, quarantine_ms = 50;
   SimTime detect_timeout_ms = 2000;
+  SimTime peer_death_timeout_ms = 0;  // 0 = eviction disabled
   bool batching = true;
   SimTime batch_flush_us = 0;  // 0 = keep the config default
   bool verbose = false;
@@ -88,6 +91,10 @@ constexpr cli::FlagSpec kNodeFlags[] = {
     {"--dcda-ms", "T", "DCDA candidate-scan period (default 80)"},
     {"--quarantine-ms", "T", "candidate quarantine (default 50)"},
     {"--detect-timeout-ms", "T", "initiator-side detection timeout (default 2000)"},
+    {"--peer-death-timeout-ms", "T",
+     "sustained-suspicion window before a peer is evicted\n"
+     "as permanently dead (default 0 = never evict);\n"
+     "must exceed the longest partition you expect to survive"},
     {"--no-batching", nullptr,
      "one transport message per control message\n"
      "instead of per-peer batch frames"},
@@ -170,6 +177,8 @@ Options parse(int argc, char** argv) {
       opt.quarantine_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--detect-timeout-ms", &v)) {
       opt.detect_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--peer-death-timeout-ms", &v)) {
+      opt.peer_death_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--no-batching", &v)) {
       opt.batching = false;
     } else if (parse_flag(argv[i], "--batch-flush-us", &v)) {
@@ -193,7 +202,7 @@ Options parse(int argc, char** argv) {
 struct Status {
   std::size_t objects = 0, chain_live = 0, stubs = 0, scions = 0;
   bool sentinel_live = true;
-  std::uint64_t cycles = 0, snaps = 0;
+  std::uint64_t cycles = 0, snaps = 0, evictions = 0;
 };
 
 Status collect(NodeRuntime& node, const std::optional<sim::ClusterPlant>& plant) {
@@ -208,6 +217,7 @@ Status collect(NodeRuntime& node, const std::optional<sim::ClusterPlant>& plant)
     }
     st.cycles = p.metrics().scions_deleted_cyclic.get();
     st.snaps = p.metrics().snapshots_taken.get();
+    st.evictions = p.metrics().peers_evicted.get();
   });
   return st;
 }
@@ -215,12 +225,14 @@ Status collect(NodeRuntime& node, const std::optional<sim::ClusterPlant>& plant)
 void print_status(const char* tag, const Options& opt, NodeRuntime& node, SimTime t_ms) {
   const Status st = collect(node, opt.plant);
   std::printf("%s id=%u inc=%u t_ms=%llu recovered=%d objects=%zu chain_live=%zu "
-              "sentinel_live=%d stubs=%zu scions=%zu cycles=%llu snaps=%llu\n",
+              "sentinel_live=%d stubs=%zu scions=%zu cycles=%llu snaps=%llu "
+              "evictions=%llu\n",
               tag, opt.id, node.incarnation(),
               static_cast<unsigned long long>(t_ms), node.recovered() ? 1 : 0,
               st.objects, st.chain_live, st.sentinel_live ? 1 : 0, st.stubs, st.scions,
               static_cast<unsigned long long>(st.cycles),
-              static_cast<unsigned long long>(st.snaps));
+              static_cast<unsigned long long>(st.snaps),
+              static_cast<unsigned long long>(st.evictions));
   std::fflush(stdout);
 }
 
@@ -244,6 +256,7 @@ int main(int argc, char** argv) {
   nopts.cfg.proc.dcda_scan_period_us = opt.dcda_ms * 1000;
   nopts.cfg.proc.candidate_quarantine_us = opt.quarantine_ms * 1000;
   nopts.cfg.proc.detection_timeout_us = opt.detect_timeout_ms * 1000;
+  nopts.cfg.proc.peer_death_timeout_us = opt.peer_death_timeout_ms * 1000;
   nopts.cfg.proc.batching_enabled = opt.batching;
   if (opt.batch_flush_us > 0) nopts.cfg.proc.batch_flush_us = opt.batch_flush_us;
   // Keep the per-candidate relaunch backoff short relative to the harness
@@ -292,6 +305,16 @@ int main(int argc, char** argv) {
       std::printf("NODE-ROOT-DROPPED id=%u t_ms=%llu\n", opt.id,
                   static_cast<unsigned long long>(t));
       std::fflush(stdout);
+    }
+    if (node.self_evicted()) {
+      // The cluster declared this incarnation dead and NACKed our traffic.
+      // Continuing would only feed rejected frames; restart under a fresh
+      // incarnation (our supervisor respawns us, the incarnation file bumps).
+      std::printf("NODE-EVICTED id=%u inc=%u t_ms=%llu\n", opt.id, node.incarnation(),
+                  static_cast<unsigned long long>(t));
+      std::fflush(stdout);
+      node.stop(0);
+      return 3;
     }
     if (opt.status_every_ms > 0 && t >= next_status_ms) {
       print_status("NODE", opt, node, t);

@@ -54,6 +54,7 @@ struct Options {
   bool batching = true;
   SimTime batch_flush_us = 0;  // 0 = keep the config default
   bool chaos = false;
+  std::uint64_t peer_death_timeout_ms = 0;  // --chaos only; 0 = eviction off
   bool compare_backoff = false;
   bool verbose = false;
 };
@@ -94,7 +95,7 @@ constexpr std::size_t kNumWorkloadFlags =
 
 constexpr cli::FlagSpec kChaosFlags[] = {
     {"--seed", "S", ""}, {"--loss", "P", ""}, {"--dup", "P", ""},
-    {"--no-batching", nullptr, ""},
+    {"--no-batching", nullptr, ""}, {"--peer-death-timeout-ms", "T", ""},
 };
 constexpr cli::FlagSpec kBackoffFlags[] = {
     {"--seed", "S", ""}, {"--loss", "P", ""},
@@ -183,6 +184,8 @@ Options parse(int argc, char** argv) {
       opt.rmi_edges = true;
     } else if (parse_flag(argv[i], "--chaos", &v)) {
       opt.chaos = true;
+    } else if (parse_flag(argv[i], "--peer-death-timeout-ms", &v)) {
+      opt.peer_death_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--compare-backoff", &v)) {
       opt.compare_backoff = true;
     } else if (parse_flag(argv[i], "--verbose", &v)) {
@@ -214,11 +217,14 @@ int main(int argc, char** argv) {
     cp.batching = opt.batching;
     if (opt.loss > 0) cp.loss_probability = opt.loss;
     if (opt.dup > 0) cp.duplicate_probability = opt.dup;
+    cp.peer_death_timeout_us = opt.peer_death_timeout_ms * 1000;
     std::printf(
-        "chaos sweep: seed=%llu loss=%.2f dup=%.2f slices=%zu crashes=%s batching=%s\n",
+        "chaos sweep: seed=%llu loss=%.2f dup=%.2f slices=%zu crashes=%s "
+        "batching=%s eviction=%s\n",
         static_cast<unsigned long long>(cp.seed), cp.loss_probability,
         cp.duplicate_probability, cp.slices, cp.with_crashes ? "on" : "off",
-        cp.batching ? "on" : "off");
+        cp.batching ? "on" : "off",
+        cp.peer_death_timeout_us > 0 ? "on" : "off");
     const sim::ChaosSweepResult res = sim::run_chaos_sweep(cp);
     std::printf("  crashes=%zu recovered=%zu messages_lost=%llu\n", res.crashes,
                 res.recovered, static_cast<unsigned long long>(res.messages_lost));

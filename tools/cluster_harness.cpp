@@ -1,12 +1,20 @@
 // cluster_harness — end-to-end multi-process test driver.
 //
 //   cluster_harness --node-bin=PATH [--nodes=N] [--objs=K] [--no-kill]
+//                   [--kill-forever | --zombie] [--peer-death-timeout-ms=T]
 //                   [--timeout-ms=T] [--state-dir=DIR] [--seed=S] [--verbose]
 //
 // Forks N adgc_node processes on localhost, plants the Fig. 3 ring across
 // them, drops the anchor root, SIGKILLs node 1 mid-detection and restarts
 // it (unless --no-kill), and waits for DCDA to reclaim the cross-process
 // cycle. Exit 0 on success, 1 on failure — suitable as a ctest entry.
+//
+// Eviction legs (both default --peer-death-timeout-ms to 2500 when unset):
+//   --kill-forever  SIGKILL node 1 permanently; the survivors must evict it
+//                   and drain every stranded stub/scion.
+//   --zombie        SIGSTOP node 1, wait for the survivors to evict it and
+//                   clean up, SIGCONT it; the stale incarnation must be
+//                   NACKed off (exit 3), then respawn and re-integrate.
 #include <unistd.h>
 
 #include <cstdio>
@@ -35,6 +43,7 @@ bool parse_flag(const char* arg, const char* name, std::string* value) {
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s --node-bin=PATH [--nodes=N] [--objs=K] [--no-kill]\n"
+               "          [--kill-forever | --zombie] [--peer-death-timeout-ms=T]\n"
                "          [--timeout-ms=T] [--state-dir=DIR] [--seed=S] [--verbose]\n",
                argv0);
   std::exit(code);
@@ -56,6 +65,12 @@ int main(int argc, char** argv) {
       opts.objs_per_node = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--no-kill", &v)) {
       opts.kill_restart = false;
+    } else if (parse_flag(argv[i], "--kill-forever", &v)) {
+      opts.kill_forever = true;
+    } else if (parse_flag(argv[i], "--zombie", &v)) {
+      opts.zombie = true;
+    } else if (parse_flag(argv[i], "--peer-death-timeout-ms", &v)) {
+      opts.peer_death_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--timeout-ms", &v)) {
       opts.timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--state-dir", &v)) {
@@ -70,6 +85,11 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.node_bin.empty()) usage(argv[0], 2);
+  if ((opts.kill_forever || opts.zombie) && opts.peer_death_timeout_ms == 0) {
+    // Comfortably above the nodes' collector/status periods, far below the
+    // harness timeout.
+    opts.peer_death_timeout_ms = 2'500;
+  }
 
   if (opts.state_dir.empty()) {
     // Unique scratch dir per run so parallel ctest invocations never share
@@ -90,8 +110,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("cluster_harness: nodes=%zu objs=%zu kill_restart=%d state_dir=%s\n",
+  std::printf("cluster_harness: nodes=%zu objs=%zu kill_restart=%d kill_forever=%d "
+              "zombie=%d peer_death_timeout_ms=%llu state_dir=%s\n",
               opts.nodes, opts.objs_per_node, opts.kill_restart ? 1 : 0,
+              opts.kill_forever ? 1 : 0, opts.zombie ? 1 : 0,
+              static_cast<unsigned long long>(opts.peer_death_timeout_ms),
               opts.state_dir.c_str());
   std::fflush(stdout);
 
@@ -103,8 +126,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cluster_harness: FAIL: %s\n", res.failure.c_str());
     return 1;
   }
-  std::printf("cluster_harness: OK elapsed_ms=%llu victim_recovered=%d\n",
+  std::printf("cluster_harness: OK elapsed_ms=%llu victim_recovered=%d "
+              "victim_evicted=%d zombie_nacked=%d\n",
               static_cast<unsigned long long>(res.elapsed_ms),
-              res.victim_recovered ? 1 : 0);
+              res.victim_recovered ? 1 : 0, res.victim_evicted ? 1 : 0,
+              res.zombie_nacked ? 1 : 0);
   return 0;
 }
