@@ -36,8 +36,13 @@ RuntimeConfig rmi_config(bool dgc) {
 /// GC during the series (the paper's Table 1 isolates stub/scion creation,
 /// which "cannot be fulfilled lazily"; their series does not interleave
 /// collections).
-double run_series(int calls, bool dgc, int lgc_every = 0) {
-  Runtime rt(2, rmi_config(dgc));
+double run_series(int calls, bool dgc, int lgc_every = 0, bool obs = true) {
+  RuntimeConfig cfg = rmi_config(dgc);
+  // The obs-off leg of the observability-overhead extension: same switch
+  // adgc_node exposes (trace_ring_capacity = 0 disables event stamping;
+  // histogram recording is unconditional and thus paid by both legs).
+  if (!obs) cfg.proc.trace_ring_capacity = 0;
+  Runtime rt(2, cfg);
   const ObjectId client{0, rt.proc(0).create_object()};
   const ObjectId server{1, rt.proc(1).create_object()};
   rt.proc(0).add_root(client.seq);
@@ -197,6 +202,26 @@ int main(int argc, char** argv) {
                                           {"plain_ms", base},
                                           {"dgc_ms", dgc},
                                           {"overhead_pct", overhead}});
+  }
+
+  bench::header(
+      "Extension — observability overhead: trace-ring event stamping on vs off\n"
+      "(trace_ring_capacity 4096 vs 0, DGC-extended series; histograms record\n"
+      " in both legs; bench_diff gates obs_overhead_pct at 5%)");
+  std::printf("%-12s %16s %16s %12s\n", "# RMI calls", "obs off (ms)", "obs on (ms)",
+              "overhead");
+  for (int calls : {100, 1000}) {
+    double off = 1e100, on = 1e100;
+    for (int rep = 0; rep < 5; ++rep) {
+      off = std::min(off, run_series(calls, true, 0, /*obs=*/false));
+      on = std::min(on, run_series(calls, true, 0, /*obs=*/true));
+    }
+    const double overhead = (on - off) / off * 100.0;
+    std::printf("%-12d %16.2f %16.2f %11.2f%%\n", calls, off, on, overhead);
+    report.add("rmi_series_obs", {{"calls", static_cast<double>(calls)},
+                                  {"obs_off_ms", off},
+                                  {"obs_on_ms", on},
+                                  {"obs_overhead_pct", overhead}});
   }
 
   bench::header(

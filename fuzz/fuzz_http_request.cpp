@@ -1,0 +1,58 @@
+// libFuzzer harness over the admin endpoint's HTTP request parser — the
+// only parser that faces arbitrary bytes from anything that can reach the
+// admin TCP port. Contract under fuzzing: parse_http_request is total
+// (never crashes, never reads out of bounds), enforces its documented
+// limits, and is prefix-stable: an accepted head re-parses identically from
+// exactly its consumed bytes, and every shorter prefix asks for more input.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/obs/admin_http.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using namespace adgc::obs;
+  const std::string_view buf(reinterpret_cast<const char*>(data), size);
+
+  HttpRequest req;
+  std::size_t consumed = 0;
+  const HttpParse r = parse_http_request(buf, &req, &consumed);
+
+  if (r == HttpParse::kNeedMore) {
+    // The buffering cap must hold: oversized heads are rejected, not queued.
+    if (buf.size() > kMaxRequestBytes) __builtin_trap();
+    return 0;
+  }
+  if (r != HttpParse::kOk) return 0;
+
+  if (consumed == 0 || consumed > buf.size()) __builtin_trap();
+  if (consumed > kMaxRequestBytes) __builtin_trap();
+  if (req.method.empty() || req.method.size() > kMaxMethodBytes) __builtin_trap();
+  if (req.target.empty() || req.target.size() > kMaxTargetBytes) __builtin_trap();
+  if (req.target[0] != '/') __builtin_trap();
+  if (req.minor_version != 0 && req.minor_version != 1) __builtin_trap();
+
+  // Re-parsing exactly the consumed head must reproduce the request.
+  HttpRequest again;
+  std::size_t consumed2 = 0;
+  if (parse_http_request(buf.substr(0, consumed), &again, &consumed2) !=
+      HttpParse::kOk) {
+    __builtin_trap();
+  }
+  if (consumed2 != consumed || again.method != req.method ||
+      again.target != req.target || again.minor_version != req.minor_version) {
+    __builtin_trap();
+  }
+
+  // Any strict prefix of the head lacks the terminating blank line.
+  for (std::size_t cut : {consumed - 1, consumed / 2}) {
+    if (parse_http_request(buf.substr(0, cut), nullptr, nullptr) !=
+        HttpParse::kNeedMore) {
+      __builtin_trap();
+    }
+  }
+
+  // Response generation over attacker-influenced strings is total.
+  (void)http_response(200, "text/plain; charset=utf-8", req.target);
+  return 0;
+}

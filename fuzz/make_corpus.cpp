@@ -3,9 +3,11 @@
 // directory given as argv[1]. The checked-in corpus under fuzz/corpus/ was
 // produced by this tool; regenerate after changing the wire format.
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/net/frame.h"
@@ -203,6 +205,24 @@ int main(int argc, char** argv) {
     bad[bad.size() / 2] ^= std::byte{0x10};
     write_file(dir, "frame_batch_corrupt", frame_seed(0x0c, std::move(bad)));
   }
+
+  // Admin HTTP request seeds (fuzz_http_request): the requests the endpoint
+  // actually serves, both line terminators, and the rejection shapes.
+  const auto text_seed = [](const char* s) {
+    const std::string_view sv(s);
+    std::vector<std::byte> bytes(sv.size());
+    std::memcpy(bytes.data(), sv.data(), sv.size());
+    return bytes;
+  };
+  write_file(dir, "http_get_metrics",
+             text_seed("GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n"));
+  write_file(dir, "http_get_healthz_11",
+             text_seed("GET /healthz HTTP/1.1\r\nAccept: */*\r\n\r\n"));
+  write_file(dir, "http_get_tracez_bare_lf", text_seed("GET /tracez HTTP/1.0\n\n"));
+  write_file(dir, "http_post_rejected",
+             text_seed("POST /metrics HTTP/1.0\r\nContent-Length: 4\r\n\r\nbody"));
+  write_file(dir, "http_bad_version", text_seed("GET /metrics HTTP/2.0\r\n\r\n"));
+  write_file(dir, "http_truncated_head", text_seed("GET /metrics HTT"));
 
   std::printf("corpus written to %s\n", dir.string().c_str());
   return 0;

@@ -186,6 +186,14 @@ struct ProcessConfig {
   /// When false the runtime skips all stub/scion bookkeeping; models the
   /// unmodified Rotor baseline of Table 1.
   bool dgc_enabled = true;
+
+  // --- observability ---
+  /// Capacity (events) of the per-process structured-trace ring buffer
+  /// (detection spans, CDM hops, evictions, crash/restart...). Oldest
+  /// events are overwritten when full. 0 disables tracing entirely — no
+  /// ring is allocated and every record becomes a null-pointer no-op (the
+  /// obs-off leg of the overhead benchmark).
+  std::size_t trace_ring_capacity = 4096;
 };
 
 /// Whole-system configuration.

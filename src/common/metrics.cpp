@@ -1,5 +1,7 @@
 #include "src/common/metrics.h"
 
+#include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -13,6 +15,11 @@ namespace {
 struct Field {
   const char* name;
   Counter Metrics::* member;
+};
+
+struct HistField {
+  const char* name;
+  Histogram Metrics::* member;
 };
 
 const std::vector<Field>& fields() {
@@ -113,25 +120,77 @@ const std::vector<Field>& fields() {
   return kFields;
 }
 
+/// The counter table in sorted name order — report() and the Prometheus
+/// exposition must be deterministic regardless of declaration order.
+const std::vector<Field>& sorted_fields() {
+  static const std::vector<Field> kSorted = [] {
+    std::vector<Field> v = fields();
+    std::sort(v.begin(), v.end(), [](const Field& a, const Field& b) {
+      return std::strcmp(a.name, b.name) < 0;
+    });
+    return v;
+  }();
+  return kSorted;
+}
+
+const std::vector<HistField>& hist_fields() {
+  static const std::vector<HistField> kFields = [] {
+    std::vector<HistField> v = {
+        {"batch_flush_msgs", &Metrics::batch_flush_msgs},
+        {"detection_lifetime_us", &Metrics::detection_lifetime_us},
+        {"lgc_pause_us", &Metrics::lgc_pause_us},
+        {"rmi_rtt_us", &Metrics::rmi_rtt_us},
+        {"snapshot_us", &Metrics::snapshot_us},
+        {"tcp_writeq_depth", &Metrics::tcp_writeq_depth},
+    };
+    std::sort(v.begin(), v.end(), [](const HistField& a, const HistField& b) {
+      return std::strcmp(a.name, b.name) < 0;
+    });
+    return v;
+  }();
+  return kFields;
+}
+
 }  // namespace
 
 void Metrics::merge(const Metrics& other) {
   for (const auto& f : fields()) {
     (this->*f.member).add((other.*f.member).get());
   }
+  for (const auto& f : hist_fields()) {
+    (this->*f.member).merge(other.*f.member);
+  }
 }
 
 std::string Metrics::report(const std::string& prefix) const {
   std::ostringstream os;
-  for (const auto& f : fields()) {
+  for (const auto& f : sorted_fields()) {
     const std::uint64_t v = (this->*f.member).get();
     if (v != 0) os << prefix << f.name << " = " << v << "\n";
+  }
+  for (const auto& f : hist_fields()) {
+    const Histogram& h = this->*f.member;
+    const std::uint64_t n = h.count();
+    if (n == 0) continue;
+    os << prefix << f.name << ": count=" << n << " p50~" << h.quantile(0.5)
+       << " p99~" << h.quantile(0.99) << " mean=" << h.sum() / n << "\n";
   }
   return os.str();
 }
 
 void Metrics::reset() {
   for (const auto& f : fields()) (this->*f.member).reset();
+  for (const auto& f : hist_fields()) (this->*f.member).reset();
+}
+
+void Metrics::for_each_counter(
+    const std::function<void(const char*, std::uint64_t)>& fn) const {
+  for (const auto& f : sorted_fields()) fn(f.name, (this->*f.member).get());
+}
+
+void Metrics::for_each_histogram(
+    const std::function<void(const char*, const Histogram&)>& fn) const {
+  for (const auto& f : hist_fields()) fn(f.name, this->*f.member);
 }
 
 }  // namespace adgc

@@ -7,7 +7,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
+
+#include "src/obs/histogram.h"
 
 namespace adgc {
 
@@ -149,14 +152,34 @@ struct Metrics {
   Counter messages_dropped_crashed;     // destination was down
   Counter messages_stale_incarnation;   // from/to a dead incarnation
 
-  /// Adds every counter of `other` into this (aggregation across processes).
+  // Latency / size distributions (log-bucketed lock-free histograms; see
+  // src/obs/histogram.h). Recorded at the hot spots of every runtime and
+  // exported — alongside the counters — through the admin endpoint's
+  // Prometheus /metrics exposition (src/obs/prom.h).
+  Histogram rmi_rtt_us;               // invoke → reply round trip (Env clock)
+  Histogram lgc_pause_us;             // run_lgc wall time (incl. NSS build)
+  Histogram snapshot_us;              // snapshot + summarize wall time
+  Histogram detection_lifetime_us;    // initiator-observed detection lifetime
+  Histogram batch_flush_msgs;         // messages per control-plane batch flush
+  Histogram tcp_writeq_depth;         // per-peer write queue depth at enqueue
+
+  /// Adds every counter and histogram of `other` into this (aggregation
+  /// across processes).
   void merge(const Metrics& other);
 
-  /// Multi-line human-readable dump of the non-zero counters.
+  /// Multi-line human-readable dump of the non-zero counters (sorted by
+  /// name, deterministically) followed by the non-empty histograms.
   std::string report(const std::string& prefix = "") const;
 
-  /// Zeroes every counter.
+  /// Zeroes every counter and histogram.
   void reset();
+
+  /// Visits every counter as (name, value) in sorted name order.
+  void for_each_counter(
+      const std::function<void(const char*, std::uint64_t)>& fn) const;
+  /// Visits every histogram as (name, histogram) in sorted name order.
+  void for_each_histogram(
+      const std::function<void(const char*, const Histogram&)>& fn) const;
 };
 
 }  // namespace adgc

@@ -32,6 +32,12 @@ class DetectionManager {
 
   bool candidate_active(RefId candidate) const { return by_candidate_.contains(candidate); }
   bool active(DetectionId id) const { return records_.contains(id); }
+  /// Record of an in-flight detection, or nullptr (for lifetime metrics at
+  /// terminal events; the pointer is invalidated by any mutating call).
+  const Record* find(DetectionId id) const {
+    auto it = records_.find(id);
+    return it == records_.end() ? nullptr : &it->second;
+  }
   std::size_t in_flight() const { return records_.size(); }
 
   /// Ends a detection (cycle found, aborted, or any terminal CDM outcome

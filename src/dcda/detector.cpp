@@ -23,6 +23,8 @@ bool Detector::start_detection(RefId candidate, SimTime now) {
 
   const DetectionId id = manager_.begin(candidate, now, cfg_.detection_timeout_us);
   metrics_.detections_started.add();
+  obs::emit(trace_, {now, pid_, obs::EventType::kDetectionStart, 0, id.initiator,
+                     id.seq, candidate});
   if (detection_started_) detection_started_(id, candidate);
 
   CdmMsg base;
@@ -40,6 +42,9 @@ bool Detector::start_detection(RefId candidate, SimTime now) {
   if (sent == 0) {
     // Every branch was locally reachable, duplicate or absent: detection
     // over before it started.
+    obs::emit(trace_, {now, pid_, obs::EventType::kDetectionAborted,
+                       static_cast<std::uint8_t>(obs::AbortReason::kNoProgress),
+                       id.initiator, id.seq, 0});
     manager_.end(id);
     return false;
   }
@@ -94,21 +99,30 @@ void Detector::on_cdm(const CdmMsg& msg, SimTime now) {
   on_cdm_impl(msg, now);
 }
 
-void Detector::on_cdm_impl(const CdmMsg& msg, SimTime /*now*/) {
+void Detector::on_cdm_impl(const CdmMsg& msg, SimTime now) {
   metrics_.cdms_received.add();
+  const auto abort_event = [&](obs::AbortReason why) {
+    obs::emit(trace_, {now, pid_, obs::EventType::kDetectionAborted,
+                       static_cast<std::uint8_t>(why), msg.detection.initiator,
+                       msg.detection.seq, msg.hops});
+  };
   if (!snap_) {
     metrics_.detections_dropped_no_scion.add();
+    abort_event(obs::AbortReason::kNoScion);
     return;
   }
   if (seen_recently(msg)) {
     metrics_.cdms_deduped.add();
     return;
   }
+  obs::emit(trace_, {now, pid_, obs::EventType::kCdmHop, 0, msg.detection.initiator,
+                     msg.detection.seq, msg.hops});
   // Rule 1: the reference the CDM travelled along must have a scion in the
   // *current* summarized snapshot.
   const ScionSummary* scion = snap_->scion(msg.via);
   if (!scion) {
     metrics_.detections_dropped_no_scion.add();
+    abort_event(obs::AbortReason::kNoScion);
     return;
   }
   // Rule 3: pairwise snapshot consistency — the sender-snapshot stub IC must
@@ -116,6 +130,7 @@ void Detector::on_cdm_impl(const CdmMsg& msg, SimTime /*now*/) {
   // between the two snapshots.
   if (eff_ic(scion->ic) != msg.via_ic) {
     metrics_.detections_aborted_ic.add();
+    abort_event(obs::AbortReason::kViaIc);
     ADGC_DEBUG("P" << pid_ << " aborts (via IC) " << describe(msg));
     return;
   }
@@ -126,6 +141,7 @@ void Detector::on_cdm_impl(const CdmMsg& msg, SimTime /*now*/) {
     // §3.2 safety rule ii: same reference with different counters in the two
     // sets — mutator raced the detection.
     metrics_.detections_aborted_ic.add();
+    abort_event(obs::AbortReason::kMatchIc);
     ADGC_DEBUG("P" << pid_ << " aborts (match IC) " << describe(msg));
     return;
   }
@@ -144,12 +160,15 @@ void Detector::on_cdm_impl(const CdmMsg& msg, SimTime /*now*/) {
       return;
     }
     ADGC_INFO("P" << pid_ << " cycle found: " << describe(msg));
+    obs::emit(trace_, {now, pid_, obs::EventType::kDetectionMatched, 0,
+                       msg.detection.initiator, msg.detection.seq, msg.hops});
     hooks_.cycle_found(msg.detection, msg.via, via->ic);
     return;
   }
 
   if (msg.hops >= cfg_.cdm_hop_limit) {
     ADGC_WARN("P" << pid_ << " dropping CDM at hop limit " << describe(msg));
+    abort_event(obs::AbortReason::kHopLimit);
     return;
   }
 
@@ -157,6 +176,7 @@ void Detector::on_cdm_impl(const CdmMsg& msg, SimTime /*now*/) {
   const Algebra delivered = alg;
   if (alg.source.insert({scion->ref, eff_ic(scion->ic)}) == AlgebraSet::Insert::kConflict) {
     metrics_.detections_aborted_ic.add();
+    abort_event(obs::AbortReason::kMatchIc);
     return;
   }
   const int sent = expand(msg, *scion, delivered, std::move(alg));
@@ -224,10 +244,14 @@ int Detector::expand(const CdmMsg& base, const ScionSummary& scion, const Algebr
 }
 
 std::vector<DetectionManager::Record> Detector::abort_for_crash(ProcessId crashed,
-                                                                SimTime /*now*/) {
+                                                                SimTime now) {
   std::vector<DetectionManager::Record> drained = manager_.drain();
   for (const auto& rec : drained) {
     metrics_.detections_aborted_crash.add();
+    metrics_.detection_lifetime_us.record(now - rec.started_at);
+    obs::emit(trace_, {now, pid_, obs::EventType::kDetectionAborted,
+                       static_cast<std::uint8_t>(obs::AbortReason::kCrash),
+                       rec.id.initiator, rec.id.seq, crashed});
     ADGC_DEBUG("P" << pid_ << " aborts " << to_string(rec.id) << " (P" << crashed
                    << " crashed)");
   }
@@ -238,9 +262,19 @@ std::vector<DetectionManager::Record> Detector::expire(SimTime now) {
   std::vector<DetectionManager::Record> expired = manager_.expire(now);
   for (const auto& rec : expired) {
     metrics_.detections_timed_out.add();
+    metrics_.detection_lifetime_us.record(now - rec.started_at);
+    obs::emit(trace_, {now, pid_, obs::EventType::kDetectionExpired, 0,
+                       rec.id.initiator, rec.id.seq, now - rec.started_at});
     ADGC_DEBUG("P" << pid_ << " detection timed out: " << to_string(rec.id));
   }
   return expired;
+}
+
+void Detector::finish(DetectionId id, SimTime now) {
+  if (const DetectionManager::Record* rec = manager_.find(id)) {
+    metrics_.detection_lifetime_us.record(now - rec->started_at);
+  }
+  manager_.end(id);
 }
 
 }  // namespace adgc

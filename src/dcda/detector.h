@@ -30,6 +30,7 @@
 #include "src/common/metrics.h"
 #include "src/dcda/algebra.h"
 #include "src/dcda/detection_manager.h"
+#include "src/obs/trace.h"
 #include "src/snapshot/snapshot.h"
 
 namespace adgc {
@@ -82,7 +83,11 @@ class Detector {
   std::vector<DetectionManager::Record> abort_for_crash(ProcessId crashed, SimTime now);
 
   /// Marks a detection finished at the initiator (cycle acted upon).
-  void finish(DetectionId id) { manager_.end(id); }
+  /// Records the detection's lifetime into the metrics histogram.
+  void finish(DetectionId id, SimTime now);
+
+  /// Installs the structured-trace ring (Env::trace(); nullptr = disabled).
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
 
   DetectionManager& manager() { return manager_; }
   const DetectionManager& manager() const { return manager_; }
@@ -118,6 +123,7 @@ class Detector {
   ProcessId pid_;
   const ProcessConfig& cfg_;
   Metrics& metrics_;
+  obs::TraceRing* trace_ = nullptr;
   Hooks hooks_;
   std::function<void(DetectionId, RefId)> detection_started_;
   DetectionManager manager_;

@@ -79,6 +79,7 @@ void Batcher::flush_peer(ProcessId dst, FlushReason reason) {
   OpenBatch b = std::move(it->second);
   open_.erase(it);
   note_reason(reason);
+  env_.metrics().batch_flush_msgs.record(b.count);
 
   b.w.patch_u32(1, b.count);
   std::vector<std::byte> bytes = b.w.take();

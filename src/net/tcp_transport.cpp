@@ -33,7 +33,7 @@ void set_nodelay(int fd) {
 
 }  // namespace
 
-PeerAddr parse_peer_addr(const std::string& s) {
+PeerAddr parse_peer_addr(const std::string& s, bool allow_port_zero) {
   const std::size_t colon = s.rfind(':');
   if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
     throw std::invalid_argument("peer address must be host:port, got '" + s + "'");
@@ -41,7 +41,7 @@ PeerAddr parse_peer_addr(const std::string& s) {
   PeerAddr a;
   a.host = s.substr(0, colon);
   const long port = std::strtol(s.c_str() + colon + 1, nullptr, 10);
-  if (port <= 0 || port > 65535) {
+  if (port < (allow_port_zero ? 0 : 1) || port > 65535) {
     throw std::invalid_argument("peer address has bad port: '" + s + "'");
   }
   a.port = static_cast<std::uint16_t>(port);
@@ -87,9 +87,35 @@ void TcpTransport::start() {
   port_ = ntohs(addr.sin_port);
   set_nonblocking(listen_fd_);
 
+  if (opts_.admin_enabled) {
+    admin_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in aaddr{};
+    aaddr.sin_family = AF_INET;
+    aaddr.sin_port = htons(opts_.admin_port);
+    if (admin_listen_fd_ < 0 ||
+        ::inet_pton(AF_INET, opts_.admin_host.c_str(), &aaddr.sin_addr) != 1 ||
+        ::setsockopt(admin_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0 ||
+        ::bind(admin_listen_fd_, reinterpret_cast<sockaddr*>(&aaddr), sizeof aaddr) != 0 ||
+        ::listen(admin_listen_fd_, 16) != 0) {
+      const std::string err = std::strerror(errno);
+      if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
+      admin_listen_fd_ = -1;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("admin bind/listen on " + opts_.admin_host + ":" +
+                               std::to_string(opts_.admin_port) + " failed: " + err);
+    }
+    socklen_t alen = sizeof aaddr;
+    ::getsockname(admin_listen_fd_, reinterpret_cast<sockaddr*>(&aaddr), &alen);
+    admin_port_ = ntohs(aaddr.sin_port);
+    set_nonblocking(admin_listen_fd_);
+  }
+
   if (::pipe(wake_fds_) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+    if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
+    admin_listen_fd_ = -1;
     throw std::runtime_error("pipe() failed");
   }
   set_nonblocking(wake_fds_[0]);
@@ -112,8 +138,14 @@ void TcpTransport::stop(SimTime drain_us) {
   }
   conns_.clear();
   peer_state_.clear();
+  for (auto& c : admin_conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  admin_conns_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
+  admin_listen_fd_ = -1;
   for (int& fd : wake_fds_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
@@ -173,11 +205,88 @@ void TcpTransport::enqueue_frame(PeerState& ps, std::vector<std::byte> frame,
       return;
     }
   }
+  metrics_.tcp_writeq_depth.record(queued + 1);
   if (ps.conn && !ps.conn->connecting) {
     ps.conn->writeq.push_back(std::move(frame));
   } else {
     ps.pending.push_back(std::move(frame));
   }
+}
+
+// ------------------------------------------------------------ admin endpoint
+
+void TcpTransport::admin_accept_ready() {
+  for (;;) {
+    const int fd = ::accept(admin_listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    auto conn = std::make_unique<AdminConn>();
+    conn->fd = fd;
+    admin_conns_.push_back(std::move(conn));
+  }
+}
+
+void TcpTransport::close_admin(AdminConn* conn) {
+  if (conn->fd < 0) return;
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+void TcpTransport::admin_readable(AdminConn* conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      if (!conn->responding) conn->in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF before a complete request (or hard error): nothing to answer.
+    if (!conn->responding) {
+      close_admin(conn);
+      return;
+    }
+    break;
+  }
+  if (conn->responding || conn->fd < 0) return;
+
+  obs::HttpRequest req;
+  std::size_t consumed = 0;
+  switch (obs::parse_http_request(conn->in, &req, &consumed)) {
+    case obs::HttpParse::kNeedMore:
+      return;
+    case obs::HttpParse::kBad:
+      conn->out = obs::http_response(400, "text/plain", "bad request\n");
+      break;
+    case obs::HttpParse::kOk:
+      if (req.method != "GET") {
+        conn->out = obs::http_response(405, "text/plain", "only GET is served\n");
+      } else if (!admin_handler_) {
+        conn->out = obs::http_response(503, "text/plain", "no admin handler\n");
+      } else {
+        const obs::AdminResponse resp = admin_handler_(req);
+        conn->out = obs::http_response(resp.status, resp.content_type, resp.body);
+      }
+      break;
+  }
+  conn->in.clear();
+  conn->in.shrink_to_fit();
+  conn->responding = true;
+  admin_writable(conn);
+}
+
+void TcpTransport::admin_writable(AdminConn* conn) {
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_off,
+                             conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_admin(conn);
+      return;
+    }
+    conn->out_off += static_cast<std::size_t>(n);
+  }
+  close_admin(conn);  // one response per connection (HTTP/1.0)
 }
 
 void TcpTransport::drain_sends() {
@@ -407,6 +516,7 @@ void TcpTransport::on_writable(Conn* conn) {
 void TcpTransport::io_loop() {
   std::vector<pollfd> fds;
   std::vector<Conn*> fd_conns;
+  std::vector<AdminConn*> fd_admin;
   SimTime drain_deadline = 0;
 
   for (;;) {
@@ -441,8 +551,18 @@ void TcpTransport::io_loop() {
 
     fds.clear();
     fd_conns.clear();
+    fd_admin.clear();
     fds.push_back({wake_fds_[0], POLLIN, 0});
-    if (!stopping) fds.push_back({listen_fd_, POLLIN, 0});
+    std::size_t idx_listen = 0, idx_admin = 0;  // 0 = absent (slot 0 is wake)
+    if (!stopping) {
+      idx_listen = fds.size();
+      fds.push_back({listen_fd_, POLLIN, 0});
+      if (admin_listen_fd_ >= 0) {
+        idx_admin = fds.size();
+        fds.push_back({admin_listen_fd_, POLLIN, 0});
+      }
+    }
+    const std::size_t base = fds.size();
     for (auto& c : conns_) {
       if (c->fd < 0) continue;
       short ev = POLLIN;
@@ -450,25 +570,42 @@ void TcpTransport::io_loop() {
       fds.push_back({c->fd, ev, 0});
       fd_conns.push_back(c.get());
     }
+    const std::size_t admin_base = fds.size();
+    if (!stopping) {
+      for (auto& a : admin_conns_) {
+        if (a->fd < 0) continue;
+        short ev = a->responding ? POLLOUT : POLLIN;
+        fds.push_back({a->fd, ev, 0});
+        fd_admin.push_back(a.get());
+      }
+    }
 
     const SimTime wait_us = next_deadline > now ? next_deadline - now : 0;
     const int timeout_ms = static_cast<int>(std::min<SimTime>(wait_us / 1000 + 1, 1000));
     const int nready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (nready < 0 && errno != EINTR) return;
 
-    std::size_t base = stopping ? 1 : 2;
     if (fds[0].revents & POLLIN) {
       char scratch[256];
       while (::read(wake_fds_[0], scratch, sizeof scratch) > 0) {
       }
     }
-    if (!stopping && (fds[1].revents & POLLIN)) accept_ready();
-    for (std::size_t i = base; i < fds.size(); ++i) {
+    if (idx_listen && (fds[idx_listen].revents & POLLIN)) accept_ready();
+    if (idx_admin && (fds[idx_admin].revents & POLLIN)) admin_accept_ready();
+    for (std::size_t i = base; i < admin_base; ++i) {
       Conn* conn = fd_conns[i - base];
       if (conn->fd < 0) continue;
       if (fds[i].revents & (POLLOUT)) on_writable(conn);
       if (conn->fd >= 0 && (fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
         on_readable(conn);
+      }
+    }
+    for (std::size_t i = admin_base; i < fds.size(); ++i) {
+      AdminConn* conn = fd_admin[i - admin_base];
+      if (conn->fd < 0) continue;
+      if (fds[i].revents & POLLOUT) admin_writable(conn);
+      if (conn->fd >= 0 && (fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
+        admin_readable(conn);
       }
     }
     if (!stopping) {
@@ -478,6 +615,8 @@ void TcpTransport::io_loop() {
 
     // Reap closed connections.
     std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) { return c->fd < 0; });
+    std::erase_if(admin_conns_,
+                  [](const std::unique_ptr<AdminConn>& a) { return a->fd < 0; });
   }
 }
 

@@ -43,6 +43,7 @@
 #include "src/common/rng.h"
 #include "src/net/frame.h"
 #include "src/net/message.h"
+#include "src/obs/admin_http.h"
 
 namespace adgc {
 
@@ -53,7 +54,9 @@ struct PeerAddr {
 };
 
 /// Parses "host:port"; throws std::invalid_argument on malformed input.
-PeerAddr parse_peer_addr(const std::string& s);
+/// `allow_port_zero` admits ":0" — meaningful only for bind addresses
+/// (kernel-assigned listen/admin ports), never for a peer map entry.
+PeerAddr parse_peer_addr(const std::string& s, bool allow_port_zero = false);
 
 class TcpTransport {
  public:
@@ -70,6 +73,12 @@ class TcpTransport {
     SimTime reconnect_base_us = 50'000;
     SimTime reconnect_cap_us = 2'000'000;
     std::uint64_t seed = 1;
+    /// Admin HTTP endpoint (/metrics, /healthz, /tracez), folded into the
+    /// same poll loop as the data sockets. Off unless enabled; a port of 0
+    /// binds kernel-assigned (see admin_port()).
+    bool admin_enabled = false;
+    std::string admin_host = "127.0.0.1";
+    std::uint16_t admin_port = 0;
   };
 
   /// Called on the IO thread for every inbound data frame.
@@ -94,6 +103,9 @@ class TcpTransport {
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_peer_restart(PeerRestartFn fn) { peer_restart_ = std::move(fn); }
   void set_connect_failed(ConnectFailedFn fn) { connect_failed_ = std::move(fn); }
+  /// Content handler for admin requests; runs on the IO thread, so it must
+  /// only touch thread-safe state. Install before start().
+  void set_admin_handler(obs::AdminHandler fn) { admin_handler_ = std::move(fn); }
 
   /// Binds + listens + spawns the IO thread. Throws std::runtime_error when
   /// the listen address is unusable.
@@ -115,6 +127,9 @@ class TcpTransport {
 
   /// Actual listening port (resolves a requested port of 0).
   std::uint16_t port() const { return port_; }
+
+  /// Actual admin endpoint port; 0 when the endpoint is disabled.
+  std::uint16_t admin_port() const { return admin_port_; }
 
   /// Last incarnation announced by `peer` in a hello, or kUnknownIncarnation
   /// when we never heard from it. Thread-safe.
@@ -143,9 +158,25 @@ class TcpTransport {
     SimTime next_connect_us = 0;                 // backoff deadline (steady clock)
   };
 
+  /// One admin HTTP connection: buffer the request head, hand it to the
+  /// handler, stream the response out, close. Strictly nonblocking; a slow
+  /// or malicious client can only stall its own connection.
+  struct AdminConn {
+    int fd = -1;
+    std::string in;            // request bytes until the head parses
+    std::string out;           // serialized response
+    std::size_t out_off = 0;
+    bool responding = false;   // request parsed; draining `out`
+  };
+
   void io_loop();
   void wake();
   SimTime steady_now() const;
+
+  void admin_accept_ready();
+  void admin_readable(AdminConn* conn);
+  void admin_writable(AdminConn* conn);
+  void close_admin(AdminConn* conn);
 
   void start_connect(ProcessId peer, SimTime now);
   void on_connect_ready(Conn* conn);
@@ -164,11 +195,15 @@ class TcpTransport {
   DeliverFn deliver_;
   PeerRestartFn peer_restart_;
   ConnectFailedFn connect_failed_;
+  obs::AdminHandler admin_handler_;
   Rng rng_;
 
   int listen_fd_ = -1;
+  int admin_listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};
   std::uint16_t port_ = 0;
+  std::uint16_t admin_port_ = 0;
+  std::vector<std::unique_ptr<AdminConn>> admin_conns_;  // IO thread only
 
   std::thread io_thread_;
   std::atomic<bool> running_{false};

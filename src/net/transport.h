@@ -14,6 +14,7 @@
 #include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/net/message.h"
+#include "src/obs/trace.h"
 
 namespace adgc {
 
@@ -46,6 +47,10 @@ class Env {
 
   /// This process's metric counters.
   virtual Metrics& metrics() = 0;
+
+  /// This process's structured-event trace ring, or nullptr when tracing is
+  /// disabled (obs::emit is null-safe, so recording sites never branch).
+  virtual obs::TraceRing* trace() { return nullptr; }
 };
 
 }  // namespace adgc

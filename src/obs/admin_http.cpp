@@ -1,0 +1,151 @@
+#include "src/obs/admin_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace adgc::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+/// A token of printable non-space ASCII, length-bounded. Control bytes in
+/// the request line are always malformed.
+bool valid_token(std::string_view s, std::size_t max) {
+  if (s.empty() || s.size() > max) return false;
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7f) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpParse parse_http_request(std::string_view buf, HttpRequest* out,
+                             std::size_t* consumed) {
+  // Find the end of the head: CRLFCRLF or bare LFLF.
+  std::size_t head_end = std::string_view::npos;
+  std::size_t head_len = 0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != '\n') continue;
+    // "\n" directly after the previous line's "\n" (with or without '\r'
+    // in between) terminates the head.
+    std::size_t prev = i;
+    if (prev > 0 && buf[prev - 1] == '\r') --prev;
+    if (prev == 0 || buf[prev - 1] == '\n') {
+      head_end = i;
+      head_len = i + 1;
+      break;
+    }
+  }
+  if (head_end == std::string_view::npos) {
+    return buf.size() > kMaxRequestBytes ? HttpParse::kBad : HttpParse::kNeedMore;
+  }
+  if (head_len > kMaxRequestBytes) return HttpParse::kBad;
+
+  // Request line = up to the first LF (trim a trailing CR).
+  std::size_t line_end = buf.find('\n');
+  std::string_view line = buf.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return HttpParse::kBad;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return HttpParse::kBad;
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!valid_token(method, kMaxMethodBytes)) return HttpParse::kBad;
+  if (!valid_token(target, kMaxTargetBytes)) return HttpParse::kBad;
+  if (target[0] != '/') return HttpParse::kBad;
+  if (version.size() != 8 || version.rfind("HTTP/1.", 0) != 0 ||
+      (version[7] != '0' && version[7] != '1')) {
+    return HttpParse::kBad;
+  }
+  if (out) {
+    out->method = std::string(method);
+    out->target = std::string(target);
+    out->minor_version = version[7] - '0';
+  }
+  if (consumed) *consumed = head_len;
+  return HttpParse::kOk;
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status << " " << status_text(status) << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n";
+  std::string head = os.str();
+  head.append(body);
+  return head;
+}
+
+std::optional<std::string> http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& target, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      ::close(fd);
+      return std::nullopt;  // timeout or error
+    }
+    if (n == 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (resp.rfind("HTTP/1.0 200", 0) != 0 && resp.rfind("HTTP/1.1 200", 0) != 0) {
+    return std::nullopt;
+  }
+  const std::size_t body = resp.find("\r\n\r\n");
+  if (body == std::string::npos) return std::nullopt;
+  return resp.substr(body + 4);
+}
+
+}  // namespace adgc::obs

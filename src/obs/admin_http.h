@@ -1,0 +1,66 @@
+// Minimal HTTP/1.0 machinery for the node admin endpoint.
+//
+// The parser is a pure function over a byte buffer — no sockets, no
+// allocation beyond the extracted strings — so it can be driven by the
+// TcpTransport poll loop on real connections and by the fuzz_http_request
+// libFuzzer harness on arbitrary input. Only the request line and the
+// header terminator matter: the endpoint serves GET with no body, ignores
+// all request headers, and closes the connection after one response
+// (Connection: close, HTTP/1.0 semantics even for 1.1 clients).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace adgc::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // "/metrics"
+  int minor_version = 0;
+};
+
+enum class HttpParse {
+  kNeedMore,  // no terminating blank line yet; feed more bytes
+  kOk,        // parsed one request head; *consumed bytes were used
+  kBad,       // malformed or over limits; close the connection
+};
+
+/// Hard limits: anything beyond them parses as kBad (a socket peer can not
+/// make the admin server buffer unboundedly).
+inline constexpr std::size_t kMaxRequestBytes = 8192;
+inline constexpr std::size_t kMaxMethodBytes = 16;
+inline constexpr std::size_t kMaxTargetBytes = 2048;
+
+/// Parses one request head ("METHOD target HTTP/1.x\r\n...headers...\r\n\r\n")
+/// from the front of `buf`. A bare-LF line terminator is accepted. On kOk,
+/// `*out` holds the request line and `*consumed` the head's length.
+HttpParse parse_http_request(std::string_view buf, HttpRequest* out,
+                             std::size_t* consumed);
+
+/// Serialized HTTP/1.0 response with Content-Length and Connection: close.
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body);
+
+/// Content a handler returns for one admin request.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Installed into the TcpTransport; invoked on its IO thread, so handlers
+/// must only touch thread-safe state (atomics, mutex-guarded caches).
+using AdminHandler = std::function<AdminResponse(const HttpRequest&)>;
+
+/// Blocking one-shot HTTP GET against a local admin endpoint (tests and the
+/// cluster harness's scrape leg). Returns the response body on HTTP 200,
+/// std::nullopt on connect/timeout/non-200.
+std::optional<std::string> http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& target,
+                                    int timeout_ms = 5000);
+
+}  // namespace adgc::obs

@@ -1,0 +1,32 @@
+// Prometheus text exposition of the Metrics counters and histograms.
+//
+// Naming follows the Prometheus conventions at export time so the in-code
+// names (already `[a-z0-9_]`) stay short: every sample gains the `adgc_`
+// namespace prefix, monotone counters gain the `_total` suffix, and the few
+// table-size gauges are typed `gauge` without it. Histograms render as the
+// standard `_bucket{le=...}` / `_sum` / `_count` triplet with cumulative
+// bucket counts over the log-bucket upper bounds. Output order is the
+// deterministic sorted order of Metrics::for_each_*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/metrics.h"
+
+namespace adgc::obs {
+
+/// Renders every counter (including zero-valued ones — scrape consumers need
+/// the full series) and every histogram.
+std::string render_prometheus(const Metrics& m);
+
+/// Minimal exposition-text parser for tests and the cluster harness's scrape
+/// validation: collects `name{labels}` → value for every sample line, checks
+/// comment lines are well-formed. Returns false (with *err set) on any
+/// syntactically invalid line.
+bool parse_prometheus(std::string_view text, std::map<std::string, double>* out,
+                      std::string* err);
+
+}  // namespace adgc::obs

@@ -1,0 +1,229 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/common/bytes.h"
+
+namespace adgc::obs {
+
+namespace {
+
+constexpr std::uint32_t kTraceMagic = 0x54434441;  // "ADCT" little-endian
+constexpr std::uint16_t kTraceVersion = 1;
+// 8 ts + 4 proc + 1 type + 1 arg + 4 a32 + 8 a64 + 8 b64.
+constexpr std::size_t kEventBytes = 34;
+
+bool detection_event(EventType t) {
+  switch (t) {
+    case EventType::kDetectionStart:
+    case EventType::kCdmHop:
+    case EventType::kDetectionMatched:
+    case EventType::kDetectionAborted:
+    case EventType::kDetectionExpired:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Async-span key: one Perfetto track per detection.
+std::string detection_key(const Event& ev) {
+  std::ostringstream os;
+  os << "d" << ev.a32 << ":" << ev.a64;
+  return os.str();
+}
+
+void json_escape(std::ostringstream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kDetectionStart: return "detection_start";
+    case EventType::kCdmHop: return "cdm_hop";
+    case EventType::kDetectionMatched: return "detection_matched";
+    case EventType::kDetectionAborted: return "detection_aborted";
+    case EventType::kDetectionExpired: return "detection_expired";
+    case EventType::kEviction: return "eviction";
+    case EventType::kCrash: return "crash";
+    case EventType::kRestart: return "restart";
+    case EventType::kNssRound: return "nss_round";
+    case EventType::kLgcRun: return "lgc_run";
+    case EventType::kSnapshot: return "snapshot";
+  }
+  return "unknown";
+}
+
+const char* to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kNoScion: return "no_scion";
+    case AbortReason::kViaIc: return "via_ic";
+    case AbortReason::kMatchIc: return "match_ic";
+    case AbortReason::kLocalReach: return "local_reach";
+    case AbortReason::kHopLimit: return "hop_limit";
+    case AbortReason::kNoProgress: return "no_progress";
+    case AbortReason::kCrash: return "crash";
+    case AbortReason::kEviction: return "eviction";
+    case AbortReason::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> serialize_trace(const std::vector<Event>& events) {
+  ByteWriter w;
+  w.u32(kTraceMagic);
+  w.u16(kTraceVersion);
+  w.u32(static_cast<std::uint32_t>(events.size()));
+  for (const Event& ev : events) {
+    w.u64(ev.ts);
+    w.u32(ev.proc);
+    w.u8(static_cast<std::uint8_t>(ev.type));
+    w.u8(ev.arg);
+    w.u32(ev.a32);
+    w.u64(ev.a64);
+    w.u64(ev.b64);
+  }
+  return w.take();
+}
+
+std::vector<Event> parse_trace(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kTraceMagic) throw DecodeError("trace: bad magic");
+  const std::uint16_t version = r.u16();
+  if (version != kTraceVersion) {
+    throw DecodeError("trace: unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t count = r.u32();
+  if (static_cast<std::size_t>(count) * kEventBytes != r.remaining()) {
+    throw DecodeError("trace: count does not match payload size");
+  }
+  std::vector<Event> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Event ev;
+    ev.ts = r.u64();
+    ev.proc = r.u32();
+    ev.type = static_cast<EventType>(r.u8());
+    ev.arg = r.u8();
+    ev.a32 = r.u32();
+    ev.a64 = r.u64();
+    ev.b64 = r.u64();
+    out.push_back(ev);
+  }
+  r.expect_done();
+  return out;
+}
+
+std::string to_chrome_json(const std::vector<Event>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto entry = [&](const Event& ev, char ph, std::string_view name,
+                   std::string_view id, std::string_view args) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"" << ph << "\",\"ts\":" << ev.ts << ",\"pid\":" << ev.proc
+       << ",\"tid\":" << ev.proc << ",\"cat\":\""
+       << (detection_event(ev.type) ? "detection" : "runtime") << "\",\"name\":\"";
+    json_escape(os, name);
+    os << "\"";
+    if (!id.empty()) os << ",\"id\":\"" << id << "\"";
+    if (ph == 'i' || ph == 'n') os << ",\"s\":\"t\"";
+    if (!args.empty()) os << ",\"args\":{" << args << "}";
+    os << "}";
+  };
+
+  std::set<ProcessId> procs;
+  for (const Event& ev : events) {
+    procs.insert(ev.proc);
+    std::ostringstream args;
+    switch (ev.type) {
+      case EventType::kDetectionStart: {
+        args << "\"initiator\":" << ev.a32 << ",\"seq\":" << ev.a64
+             << ",\"candidate\":\"" << ref_to_string(ev.b64) << "\"";
+        const std::string key = detection_key(ev);
+        entry(ev, 'b', "detection " + key, key, args.str());
+        break;
+      }
+      case EventType::kCdmHop: {
+        args << "\"hops\":" << ev.b64;
+        const std::string key = detection_key(ev);
+        entry(ev, 'n', "cdm hop", key, args.str());
+        break;
+      }
+      case EventType::kDetectionMatched:
+      case EventType::kDetectionAborted:
+      case EventType::kDetectionExpired: {
+        const std::string key = detection_key(ev);
+        const char* outcome = ev.type == EventType::kDetectionMatched ? "matched"
+                              : ev.type == EventType::kDetectionExpired
+                                  ? "expired"
+                                  : "aborted";
+        args << "\"outcome\":\"" << outcome << "\"";
+        if (ev.type == EventType::kDetectionAborted) {
+          args << ",\"reason\":\"" << to_string(static_cast<AbortReason>(ev.arg))
+               << "\"";
+        }
+        if (ev.type == EventType::kDetectionExpired) {
+          args << ",\"lifetime_us\":" << ev.b64;
+        }
+        entry(ev, 'e', "detection " + key, key, args.str());
+        break;
+      }
+      case EventType::kEviction:
+        args << "\"peer\":" << ev.a32 << ",\"incarnation\":" << ev.a64;
+        entry(ev, 'i', "evict peer", "", args.str());
+        break;
+      case EventType::kCrash:
+        args << "\"pid\":" << ev.a32;
+        entry(ev, 'i', "crash", "", args.str());
+        break;
+      case EventType::kRestart:
+        args << "\"pid\":" << ev.a32 << ",\"incarnation\":" << ev.a64
+             << ",\"recovered\":" << (ev.b64 ? "true" : "false");
+        entry(ev, 'i', "restart", "", args.str());
+        break;
+      case EventType::kNssRound:
+        args << "\"nss_sent\":" << ev.a64;
+        entry(ev, 'i', "nss round", "", args.str());
+        break;
+      case EventType::kLgcRun:
+        args << "\"reclaimed\":" << ev.a64 << ",\"pause_us\":" << ev.b64;
+        entry(ev, 'i', "lgc", "", args.str());
+        break;
+      case EventType::kSnapshot:
+        args << "\"version\":" << ev.a64 << ",\"duration_us\":" << ev.b64;
+        entry(ev, 'i', "snapshot", "", args.str());
+        break;
+    }
+  }
+  // Name the per-process tracks so Perfetto shows "P<n>" instead of bare ids.
+  for (ProcessId p : procs) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":" << p << ",\"name\":\"process_name\","
+       << "\"args\":{\"name\":\"P" << p << "\"}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+}  // namespace adgc::obs

@@ -1,0 +1,154 @@
+// Structured protocol-event tracing.
+//
+// Every process owns one bounded TraceRing (capacity from
+// ProcessConfig::trace_ring_capacity, reachable through Env::trace()) into
+// which the runtime, the detector and the eviction machinery record compact
+// binary events: detection launched / CDM hop / matched / aborted-with-
+// reason, eviction decisions, crash/restart, NewSetStubs rounds, LGC and
+// snapshot passes. Timestamps come from the Env clock, so a simulator trace
+// is a pure function of (config, seed) — recording never feeds back into any
+// scheduling or protocol decision, which keeps sim determinism and model-
+// checker replay byte-identical with tracing on or off.
+//
+// The ring serializes over common/bytes into a small versioned file format
+// (adgc_node --trace-file, adgc_sim --obs-dump) and exports to Chrome
+// trace-event JSON, loadable in Perfetto: detections become async spans
+// ("b"/"e" pairs keyed by the DetectionId) with one instant per CDM hop, so
+// a complete detection renders as a span whose hops walk across processes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/ids.h"
+
+namespace adgc::obs {
+
+enum class EventType : std::uint8_t {
+  kDetectionStart = 1,   // a32=initiator a64=seq b64=candidate ref
+  kCdmHop = 2,           // a32=initiator a64=seq b64=hop count (at this proc)
+  kDetectionMatched = 3,  // a32=initiator a64=seq b64=hop count
+  kDetectionAborted = 4,  // arg=AbortReason a32=initiator a64=seq
+  kDetectionExpired = 5,  // a32=initiator a64=seq b64=lifetime us
+  kEviction = 6,          // a32=evicted peer a64=tombstoned incarnation
+  kCrash = 7,             // a32=crashed pid
+  kRestart = 8,           // a32=restarted pid a64=new incarnation b64=recovered
+  kNssRound = 9,          // a64=NewSetStubs messages sent this LGC round
+  kLgcRun = 10,           // a64=objects reclaimed b64=Env-clock pause us (0 in sim)
+  kSnapshot = 11,         // a64=snapshot version b64=Env-clock duration us (0 in sim)
+};
+
+/// Why a detection (branch) terminated without proving a cycle.
+enum class AbortReason : std::uint8_t {
+  kNone = 0,
+  kNoScion = 1,     // rule 1: via reference absent from current snapshot
+  kViaIc = 2,       // rule 3: sender stub IC != our scion IC
+  kMatchIc = 3,     // §3.2: same ref, different counters in the algebra
+  kLocalReach = 4,  // followed stub held by a root-reachable object
+  kHopLimit = 5,    // CDM hop cap
+  kNoProgress = 6,  // launch produced no viable branch
+  kCrash = 7,       // a peer crashed while the detection was in flight
+  kEviction = 8,    // a peer was evicted while the detection was in flight
+  kTimeout = 9,     // initiator deadline passed
+};
+
+const char* to_string(EventType t);
+const char* to_string(AbortReason r);
+
+/// One recorded protocol event. 32 bytes; field meaning per EventType above.
+struct Event {
+  SimTime ts = 0;
+  ProcessId proc = kNoProcess;
+  EventType type = EventType::kDetectionStart;
+  std::uint8_t arg = 0;
+  std::uint32_t a32 = 0;
+  std::uint64_t a64 = 0;
+  std::uint64_t b64 = 0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Bounded ring of recent events. record() overwrites the oldest entry when
+/// full and never allocates after construction; a capacity of 0 turns the
+/// ring off entirely (record becomes a no-op). Thread-safe: recording is
+/// normally confined to the owning actor thread, but the admin endpoint's
+/// /tracez reads from the transport IO thread.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {
+    buf_.reserve(capacity_);
+  }
+
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  void record(const Event& ev) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (buf_.size() < capacity_) {
+      buf_.push_back(ev);
+    } else {
+      buf_[next_ % capacity_] = ev;
+      ++overwritten_;
+    }
+    ++next_;
+  }
+
+  /// Events currently retained, oldest first.
+  std::vector<Event> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<Event> out;
+    out.reserve(buf_.size());
+    if (buf_.size() < capacity_ || capacity_ == 0) {
+      out = buf_;
+    } else {
+      const std::size_t head = next_ % capacity_;
+      out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head), buf_.end());
+      out.insert(out.end(), buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head));
+    }
+    return out;
+  }
+
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t recorded() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_;
+  }
+
+  /// Events lost to wraparound.
+  std::uint64_t overwritten() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return overwritten_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<Event> buf_;
+  std::uint64_t next_ = 0;         // total recorded; next_ % capacity = write slot
+  std::uint64_t overwritten_ = 0;
+};
+
+/// Null-safe recording helper for Env::trace() call sites.
+inline void emit(TraceRing* ring, const Event& ev) {
+  if (ring) ring->record(ev);
+}
+
+/// Versioned binary encoding over common/bytes (magic + version + count +
+/// fixed-width events). parse_trace throws DecodeError on anything
+/// malformed, including a truncated event list.
+std::vector<std::byte> serialize_trace(const std::vector<Event>& events);
+std::vector<Event> parse_trace(std::span<const std::byte> bytes);
+
+/// Chrome trace-event JSON ("traceEvents" array, timestamps in microseconds)
+/// viewable in Perfetto / chrome://tracing. Detections render as async spans
+/// keyed by DetectionId with an instant per CDM hop; crashes, restarts,
+/// evictions and collector passes render as instants on their process track.
+std::string to_chrome_json(const std::vector<Event>& events);
+
+}  // namespace adgc::obs

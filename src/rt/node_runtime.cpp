@@ -5,9 +5,11 @@
 #include <fstream>
 #include <future>
 #include <queue>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/common/log.h"
+#include "src/obs/prom.h"
 
 namespace adgc {
 
@@ -24,7 +26,8 @@ SimTime steady_us() {
 /// actor), so no locking.
 class NodeRuntime::NodeEnv final : public Env {
  public:
-  NodeEnv(NodeRuntime& rt, std::uint64_t seed) : rt_(rt), rng_(seed) {}
+  NodeEnv(NodeRuntime& rt, std::uint64_t seed)
+      : rt_(rt), rng_(seed), trace_(rt.opts_.cfg.proc.trace_ring_capacity) {}
 
   SimTime now() const override { return steady_us(); }
 
@@ -48,6 +51,7 @@ class NodeRuntime::NodeEnv final : public Env {
 
   Rng& rng() override { return rng_; }
   Metrics& metrics() override { return metrics_; }
+  obs::TraceRing* trace() override { return trace_.enabled() ? &trace_ : nullptr; }
 
   /// Fires every due timer; returns microseconds until the next one (or a
   /// default poll interval when none are queued).
@@ -78,6 +82,7 @@ class NodeRuntime::NodeEnv final : public Env {
   NodeRuntime& rt_;
   Rng rng_;
   Metrics metrics_;
+  obs::TraceRing trace_;
   std::priority_queue<Timer> timers_;
   std::uint64_t next_timer_seq_ = 0;
 };
@@ -119,7 +124,9 @@ void NodeRuntime::start() {
   }
   opts_.cfg = cfg;
 
-  const PeerAddr listen = parse_peer_addr(opts_.listen);
+  // Bind addresses may use port 0 (kernel-assigned; the node announces the
+  // actual ports). Peer-map entries stay strict.
+  const PeerAddr listen = parse_peer_addr(opts_.listen, /*allow_port_zero=*/true);
   TcpTransport::Options topts;
   topts.self = opts_.pid;
   topts.incarnation = incarnation_;
@@ -128,7 +135,15 @@ void NodeRuntime::start() {
   topts.peers = opts_.peers;
   topts.peer_queue_limit = opts_.peer_queue_limit;
   topts.seed = cfg.seed ^ (std::uint64_t{opts_.pid} << 32) ^ incarnation_;
+  if (opts_.admin_enabled) {
+    const PeerAddr admin = parse_peer_addr(opts_.admin_listen, /*allow_port_zero=*/true);
+    topts.admin_enabled = true;
+    topts.admin_host = admin.host;
+    topts.admin_port = admin.port;
+  }
   transport_ = std::make_unique<TcpTransport>(topts, net_metrics_);
+  transport_->set_admin_handler(
+      [this](const obs::HttpRequest& req) { return handle_admin(req); });
   transport_->set_deliver([this](Envelope&& env) { enqueue(std::move(env)); });
   transport_->set_peer_restart([this](ProcessId peer, Incarnation inc) {
     ADGC_INFO("node P" << opts_.pid << ": peer P" << peer
@@ -156,6 +171,9 @@ void NodeRuntime::start() {
     recovered_ = proc_->recover_from_store();
     env_->metrics().process_restarts.add();
     if (recovered_) env_->metrics().restarts_recovered.add();
+    obs::emit(env_->trace(),
+              {env_->now(), opts_.pid, obs::EventType::kRestart, 0, opts_.pid,
+               incarnation_, recovered_ ? 1u : 0u});
   }
 
   transport_->start();  // throws on bind failure, before any thread exists
@@ -163,6 +181,9 @@ void NodeRuntime::start() {
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { loop(); });
   post([](Process& p) { p.start(); });
+  if (opts_.admin_enabled) {
+    enqueue(std::function<void()>([this] { refresh_health_cache(); }));
+  }
 }
 
 void NodeRuntime::stop(SimTime drain_us) {
@@ -248,6 +269,71 @@ Metrics NodeRuntime::total_metrics() {
   total.merge(net_metrics_);
   if (env_) total.merge(env_->metrics());
   return total;
+}
+
+std::vector<obs::Event> NodeRuntime::trace_events() const {
+  if (!env_) return {};
+  if (const obs::TraceRing* ring = env_->trace()) return ring->snapshot();
+  return {};
+}
+
+void NodeRuntime::refresh_health_cache() {
+  // Loop thread: the only thread allowed to read the peer-health tracker.
+  if (proc_) {
+    const SimTime now = env_->now();
+    PeerHealthTracker& health = proc_->peer_health();
+    std::ostringstream os;
+    os << "node P" << opts_.pid << " inc=" << incarnation_
+       << (self_evicted() ? " SELF-EVICTED" : " ok") << "\n";
+    os << "peers tracked=" << health.size()
+       << " suspected=" << health.suspected_count()
+       << " tombstones=" << health.eviction_tombstones().size() << "\n";
+    for (ProcessId peer : health.known_peers()) {
+      os << "peer P" << peer << " srtt_us=" << static_cast<std::uint64_t>(health.srtt_us(peer))
+         << " failures=" << health.consecutive_failures(peer)
+         << " outstanding=" << health.outstanding(peer)
+         << " phi=" << health.phi(peer, now)
+         << (health.suspected(peer, now) ? " SUSPECTED" : "") << "\n";
+    }
+    for (const auto& [peer, inc] : health.eviction_tombstones()) {
+      os << "evicted P" << peer << " inc<=" << inc << "\n";
+    }
+    std::lock_guard<std::mutex> lk(health_mu_);
+    health_cache_ = os.str();
+  }
+  env_->schedule(500'000, [this] { refresh_health_cache(); });
+}
+
+obs::AdminResponse NodeRuntime::handle_admin(const obs::HttpRequest& req) {
+  obs::AdminResponse resp;
+  if (req.target == "/metrics") {
+    // Counters and histograms are atomics: summing them off-thread is safe.
+    resp.body = obs::render_prometheus(total_metrics());
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (req.target == "/healthz") {
+    if (self_evicted()) resp.status = 503;
+    std::lock_guard<std::mutex> lk(health_mu_);
+    resp.body = health_cache_;
+  } else if (req.target == "/tracez") {
+    std::ostringstream os;
+    for (const obs::Event& ev : trace_events()) {
+      os << ev.ts << " P" << ev.proc << " " << obs::to_string(ev.type);
+      if (ev.type == obs::EventType::kDetectionAborted) {
+        os << " reason=" << obs::to_string(static_cast<obs::AbortReason>(ev.arg));
+      }
+      os << " a32=" << ev.a32 << " a64=" << ev.a64 << " b64=" << ev.b64 << "\n";
+    }
+    resp.body = os.str();
+    if (resp.body.empty()) resp.body = "trace ring empty or disabled\n";
+  } else if (req.target == "/" || req.target == "/index.html") {
+    resp.body = "adgc_node P" + std::to_string(opts_.pid) +
+                "\n/metrics  Prometheus exposition\n/healthz  peer health\n"
+                "/tracez   recent protocol events\n";
+  } else {
+    resp.status = 404;
+    resp.body = "not found\n";
+  }
+  return resp;
 }
 
 }  // namespace adgc

@@ -51,6 +51,11 @@ class NodeRuntime {
     std::string state_dir;
     /// Per-peer transport write-queue bound (frames) before shedding.
     std::size_t peer_queue_limit = 512;
+    /// Admin HTTP endpoint (/metrics, /healthz, /tracez) served from the
+    /// transport's IO thread. Off by default; "host:port" with port 0 binds
+    /// kernel-assigned (see admin_port()).
+    bool admin_enabled = false;
+    std::string admin_listen = "127.0.0.1:0";
   };
 
   explicit NodeRuntime(Options opts);
@@ -77,6 +82,8 @@ class NodeRuntime {
   /// True when start() recovered state from a persisted snapshot.
   bool recovered() const { return recovered_; }
   std::uint16_t port() const { return transport_ ? transport_->port() : 0; }
+  /// Actual admin endpoint port; 0 when disabled.
+  std::uint16_t admin_port() const { return transport_ ? transport_->admin_port() : 0; }
 
   /// Runs `fn(process)` on the node's loop thread, asynchronously.
   void post(std::function<void(Process&)> fn);
@@ -89,6 +96,9 @@ class NodeRuntime {
 
   TcpTransport& transport() { return *transport_; }
   Metrics total_metrics();
+  /// Retained structured-trace events of this node (adgc_node --trace-file).
+  /// Thread-safe; empty when tracing is disabled.
+  std::vector<obs::Event> trace_events() const;
 
  private:
   class NodeEnv;
@@ -97,6 +107,12 @@ class NodeRuntime {
   void loop();
   void enqueue(WorkItem item);
   Incarnation load_and_bump_incarnation();
+  /// Serves one admin request; runs on the transport IO thread, so it only
+  /// reads atomic metrics, the mutex-guarded health cache and the trace ring.
+  obs::AdminResponse handle_admin(const obs::HttpRequest& req);
+  /// Rebuilds the /healthz body from the Process's peer-health tracker; loop
+  /// thread only (the tracker is actor state). Self-rescheduling.
+  void refresh_health_cache();
 
   Options opts_;
   Incarnation incarnation_ = 0;
@@ -115,6 +131,11 @@ class NodeRuntime {
   std::atomic<bool> running_{false};
   std::atomic<bool> loop_stop_{false};
   std::atomic<bool> self_evicted_{false};
+
+  /// /healthz body, refreshed periodically on the loop thread and served
+  /// from the IO thread.
+  mutable std::mutex health_mu_;
+  std::string health_cache_ = "starting\n";
 };
 
 }  // namespace adgc

@@ -1,6 +1,7 @@
 #include "src/rt/process.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -44,6 +45,7 @@ Process::Process(ProcessId pid, const ProcessConfig& cfg, Env& env, Incarnation 
     on_cycle_found(id, candidate, expected_ic);
   };
   detector_ = std::make_unique<Detector>(pid_, cfg_, env_.metrics(), std::move(hooks));
+  detector_->set_trace(env_.trace());
   backtracer_ = std::make_unique<BacktraceDetector>(*this, env_.metrics());
   gtrace_ = std::make_unique<GlobalTraceCollector>(*this, env_.metrics());
   if (!cfg_.snapshot_dir.empty()) {
@@ -519,6 +521,7 @@ void Process::on_reply(ProcessId src, const ReplyMsg& msg) {
   metrics().replies_received.add();
   if (auto it = inflight_calls_.find(msg.call_id); it != inflight_calls_.end()) {
     if (it->second.first == src) {
+      metrics().rmi_rtt_us.record(env_.now() - it->second.second);
       peer_health_.on_response(src, env_.now() - it->second.second, env_.now());
     }
     inflight_calls_.erase(it);
@@ -579,7 +582,7 @@ void Process::on_cdm(ProcessId /*src*/, const CdmMsg& msg) {
 }
 
 void Process::on_cycle_found(DetectionId id, RefId candidate, std::uint64_t expected_ic) {
-  detector_->finish(id);
+  detector_->finish(id, env_.now());
   ScionEntry* scion = scions_.find(candidate);
   if (!scion) return;  // already collected (e.g. parallel detection)
   // Last-moment revalidation: the mutator used the reference since the
@@ -606,6 +609,12 @@ void Process::on_cycle_found(DetectionId id, RefId candidate, std::uint64_t expe
 // -------------------------------------------------------------- collectors
 
 void Process::run_lgc() {
+  // Wall-clock pause measurement feeds the lgc_pause_us histogram only
+  // (observability, never a protocol decision). The trace event instead
+  // carries the Env-clock delta: zero under the simulator, so the recorded
+  // trace stays a pure function of (config, seed).
+  const auto wall_start = std::chrono::steady_clock::now();
+  const SimTime vt_start = env_.now();
   if (cfg_.dgc_enabled && cfg_.peer_death_timeout_us > 0) maybe_evict_peers();
   if (cfg_.peer_health_idle_prune_us > 0) {
     const std::size_t pruned =
@@ -637,12 +646,22 @@ void Process::run_lgc() {
   metrics().lgc_runs.add();
   metrics().objects_reclaimed.add(res.objects_reclaimed);
   metrics().stubs_deleted.add(res.stubs_deleted);
+  const auto pause_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  metrics().lgc_pause_us.record(pause_us);
+  obs::emit(env_.trace(),
+            {env_.now(), pid_, obs::EventType::kLgcRun, 0, 0,
+             static_cast<std::uint64_t>(res.objects_reclaimed),
+             static_cast<std::uint64_t>(env_.now() - vt_start)});
   if (!cfg_.dgc_enabled) return;
   // One stub-table pass builds the payload for every contact (the per-peer
   // batcher then coalesces each NSS with whatever control traffic is already
   // queued toward that peer).
   std::map<ProcessId, NewSetStubsMsg> all_nss =
       build_all_new_set_stubs(stubs_, contacts_);
+  std::uint64_t nss_sent = 0;
   for (ProcessId dst : contacts_) {
     if (cfg_.adaptive_faults) {
       // Toward a suspected peer, space the periodic NSS re-sends out
@@ -670,11 +689,18 @@ void Process::run_lgc() {
     NewSetStubsMsg& msg = all_nss.at(dst);
     msg.export_seq = incarnation_epoch(incarnation_, ++nss_seq_[dst]);
     metrics().new_set_stubs_sent.add();
+    ++nss_sent;
     send(dst, msg);
+  }
+  if (nss_sent > 0) {
+    obs::emit(env_.trace(),
+              {env_.now(), pid_, obs::EventType::kNssRound, 0, 0, nss_sent, 0});
   }
 }
 
 void Process::take_snapshot() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const SimTime vt_start = env_.now();
   SnapshotData snap = capture_snapshot(pid_, env_.now(), heap_, stubs_, scions_);
   metrics().snapshots_taken.add();
   const std::uint64_t version = snapshot_version_ + 1;
@@ -690,6 +716,13 @@ void Process::take_snapshot() {
   metrics().summarizations.add();
   summary_ = std::make_shared<const SummarizedGraph>(std::move(sum));
   detector_->set_snapshot(summary_);
+  const auto dur_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  metrics().snapshot_us.record(dur_us);
+  obs::emit(env_.trace(), {env_.now(), pid_, obs::EventType::kSnapshot, 0, 0, version,
+                           static_cast<std::uint64_t>(env_.now() - vt_start)});
 }
 
 bool Process::recover_summary_from_store() {
@@ -834,6 +867,8 @@ void Process::evict_peer(ProcessId peer) {
   const Incarnation inc = inc_it == peer_incs_.end() ? 0 : inc_it->second;
   peer_health_.record_eviction(peer, inc);
   metrics().peers_evicted.add();
+  obs::emit(env_.trace(),
+            {env_.now(), pid_, obs::EventType::kEviction, 0, peer, inc, 0});
   ADGC_ERROR("P" << pid_ << " commits P" << peer
                  << " permanently dead (tombstone inc " << inc << "): evicting");
 

@@ -1,5 +1,6 @@
 #include "src/rt/runtime.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -7,7 +8,8 @@ namespace adgc {
 
 class Runtime::SimEnv final : public Env {
  public:
-  SimEnv(Runtime& rt, ProcessId pid, std::uint64_t seed) : rt_(rt), pid_(pid), rng_(seed) {}
+  SimEnv(Runtime& rt, ProcessId pid, std::uint64_t seed)
+      : rt_(rt), pid_(pid), rng_(seed), trace_(rt.cfg_.proc.trace_ring_capacity) {}
 
   SimTime now() const override { return rt_.now_; }
 
@@ -31,12 +33,14 @@ class Runtime::SimEnv final : public Env {
 
   Rng& rng() override { return rng_; }
   Metrics& metrics() override { return metrics_; }
+  obs::TraceRing* trace() override { return trace_.enabled() ? &trace_ : nullptr; }
 
  private:
   Runtime& rt_;
   ProcessId pid_;
   Rng rng_;
   Metrics metrics_;
+  obs::TraceRing trace_;
 };
 
 Runtime::Runtime(std::size_t num_processes, RuntimeConfig cfg)
@@ -61,6 +65,8 @@ void Runtime::crash(ProcessId pid) {
   if (!alive(pid)) throw std::logic_error("crash: process already down");
   procs_.at(pid).reset();  // volatile state gone; timers/messages die on the checks
   envs_.at(pid)->metrics().process_crashes.add();
+  obs::emit(envs_.at(pid)->trace(),
+            {now_, pid, obs::EventType::kCrash, 0, pid, 0, 0});
   for (auto& p : procs_) {
     if (p) p->on_peer_crashed(pid);
   }
@@ -74,6 +80,9 @@ bool Runtime::restart(ProcessId pid) {
   const bool recovered = procs_.at(pid)->recover_from_store();
   envs_.at(pid)->metrics().process_restarts.add();
   if (recovered) envs_.at(pid)->metrics().restarts_recovered.add();
+  obs::emit(envs_.at(pid)->trace(),
+            {now_, pid, obs::EventType::kRestart, 0, pid, incarnations_.at(pid),
+             recovered ? 1u : 0u});
   procs_.at(pid)->start();
   return recovered;
 }
@@ -224,6 +233,20 @@ Metrics Runtime::total_metrics() const {
     total.merge(const_cast<Runtime*>(this)->envs_[i]->metrics());
   }
   return total;
+}
+
+std::vector<obs::Event> Runtime::trace_events() const {
+  std::vector<obs::Event> all;
+  for (const auto& env : envs_) {
+    if (const obs::TraceRing* ring = const_cast<SimEnv*>(env.get())->trace()) {
+      const std::vector<obs::Event> evs = ring->snapshot();
+      all.insert(all.end(), evs.begin(), evs.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const obs::Event& a, const obs::Event& b) {
+    return a.ts < b.ts;
+  });
+  return all;
 }
 
 RefId Runtime::link(ObjectId from, ObjectId to) {

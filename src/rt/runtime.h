@@ -96,6 +96,9 @@ class Runtime {
   Metrics& net_metrics() { return net_metrics_; }
   /// Sum of all per-process counters plus the network's.
   Metrics total_metrics() const;
+  /// All retained structured-trace events across processes, merged and
+  /// sorted by timestamp (adgc_sim --obs-dump). Empty when tracing is off.
+  std::vector<obs::Event> trace_events() const;
 
   // ---- convenience graph construction ----
   /// Creates a remote reference from object `from` to object `to` (their

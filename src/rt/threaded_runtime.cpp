@@ -21,7 +21,7 @@ SimTime steady_us() {
 class ThreadedRuntime::ThreadEnv final : public Env {
  public:
   ThreadEnv(ThreadedRuntime& rt, ProcessId pid, std::uint64_t seed)
-      : rt_(rt), pid_(pid), rng_(seed) {}
+      : rt_(rt), pid_(pid), rng_(seed), trace_(rt.cfg_.proc.trace_ring_capacity) {}
 
   SimTime now() const override { return steady_us(); }
 
@@ -43,6 +43,7 @@ class ThreadedRuntime::ThreadEnv final : public Env {
 
   Rng& rng() override { return rng_; }
   Metrics& metrics() override { return metrics_; }
+  obs::TraceRing* trace() override { return trace_.enabled() ? &trace_ : nullptr; }
 
   /// Drops every pending timer (crash path; their closures capture the dying
   /// Process). Must run on the owning worker thread, like all timer access.
@@ -80,6 +81,7 @@ class ThreadedRuntime::ThreadEnv final : public Env {
   ProcessId pid_;
   Rng rng_;
   Metrics metrics_;
+  obs::TraceRing trace_;
   std::priority_queue<Timer> timers_;
   std::uint64_t next_timer_seq_ = 0;
 };
@@ -156,6 +158,8 @@ void ThreadedRuntime::crash(ProcessId pid) {
     envs_.at(pid)->clear_timers();  // closures capture the dying Process
     procs_.at(pid).reset();
     envs_.at(pid)->metrics().process_crashes.add();
+    obs::emit(envs_.at(pid)->trace(),
+              {envs_.at(pid)->now(), pid, obs::EventType::kCrash, 0, pid, 0, 0});
     done.set_value();
   });
   fut.wait();
@@ -178,6 +182,9 @@ bool ThreadedRuntime::restart(ProcessId pid) {
     const bool recovered = procs_.at(pid)->recover_from_store();
     envs_.at(pid)->metrics().process_restarts.add();
     if (recovered) envs_.at(pid)->metrics().restarts_recovered.add();
+    obs::emit(envs_.at(pid)->trace(),
+              {envs_.at(pid)->now(), pid, obs::EventType::kRestart, 0, pid, inc,
+               recovered ? 1u : 0u});
     procs_.at(pid)->start();
     done.set_value(recovered);
   });

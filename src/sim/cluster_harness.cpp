@@ -21,6 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/admin_http.h"
+#include "src/obs/prom.h"
+
 namespace adgc::sim {
 
 namespace {
@@ -241,6 +244,45 @@ void wait_all(std::vector<Child>& children, std::uint64_t budget_ms) {
   }
 }
 
+/// Scrapes one live node's admin endpoint and validates it end-to-end:
+/// /healthz answers, /metrics parses as Prometheus exposition text, the
+/// counters a participating node cannot avoid bumping are non-zero, and at
+/// least 5 of the latency/size histograms are exported. Returns "" on
+/// success, a failure description otherwise.
+std::string scrape_admin(std::size_t node, std::uint16_t port) {
+  const auto tag = [&](const std::string& why) {
+    return "admin scrape of node " + std::to_string(node) + " (port " +
+           std::to_string(port) + "): " + why;
+  };
+  if (!obs::http_get("127.0.0.1", port, "/healthz")) {
+    return tag("/healthz did not answer 200");
+  }
+  const auto body = obs::http_get("127.0.0.1", port, "/metrics");
+  if (!body) return tag("/metrics did not answer 200");
+  std::map<std::string, double> samples;
+  std::string perr;
+  if (!obs::parse_prometheus(*body, &samples, &perr)) {
+    return tag("exposition does not parse: " + perr);
+  }
+  for (const char* key : {"adgc_messages_sent_total", "adgc_snapshots_taken_total",
+                          "adgc_tcp_frames_sent_total"}) {
+    const auto it = samples.find(key);
+    if (it == samples.end()) return tag(std::string(key) + " missing");
+    if (it->second <= 0) return tag(std::string(key) + " is zero");
+  }
+  int histograms = 0;
+  for (const char* key :
+       {"adgc_rmi_rtt_us_count", "adgc_lgc_pause_us_count", "adgc_snapshot_us_count",
+        "adgc_detection_lifetime_us_count", "adgc_batch_flush_msgs_count",
+        "adgc_tcp_writeq_depth_count"}) {
+    if (samples.contains(key)) ++histograms;
+  }
+  if (histograms < 5) {
+    return tag("only " + std::to_string(histograms) + " histograms exported");
+  }
+  return "";
+}
+
 std::string describe(const std::vector<Child>& children) {
   std::ostringstream out;
   for (std::size_t i = 0; i < children.size(); ++i) {
@@ -276,6 +318,9 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
     return res;
   }
   std::filesystem::create_directories(opts.state_dir);
+  if (!opts.obs_dump_dir.empty()) {
+    std::filesystem::create_directories(opts.obs_dump_dir);
+  }
 
   // Pre-pick one listen port per node so every node can be handed the full
   // peer address map up front.
@@ -311,6 +356,14 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
     if (opts.peer_death_timeout_ms > 0) {
       c.argv.push_back("--peer-death-timeout-ms=" +
                        std::to_string(opts.peer_death_timeout_ms));
+    }
+    if (opts.admin_base_port > 0) {
+      c.argv.push_back("--admin-port=" +
+                       std::to_string(opts.admin_base_port + i));
+    }
+    if (!opts.obs_dump_dir.empty()) {
+      c.argv.push_back("--trace-file=" + opts.obs_dump_dir + "/node" +
+                       std::to_string(i) + ".trace");
     }
     if (opts.verbose) c.argv.push_back("--verbose");
     if (!spawn(c, &res.failure)) {
@@ -459,6 +512,21 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
       if (done && kill_forever && !any_eviction()) done = false;
       if (done) {
         if (kill_forever || zombie) res.victim_evicted = true;
+        // Scrape leg: with the cluster converged but still alive, every
+        // surviving node's admin endpoint must serve a valid exposition.
+        if (opts.admin_base_port > 0) {
+          for (std::size_t i = 0; i < opts.nodes; ++i) {
+            if (i == victim && victim_gone_forever) continue;
+            const std::string why = scrape_admin(
+                i, static_cast<std::uint16_t>(opts.admin_base_port + i));
+            if (!why.empty()) {
+              fail = why;
+              break;
+            }
+          }
+          if (!fail.empty()) break;
+          res.metrics_scraped = true;
+        }
         // Clean shutdown: SIGTERM everyone alive, expect exit code 0.
         kill_all(children, SIGTERM);
         wait_all(children, 10'000);
@@ -471,6 +539,23 @@ ClusterResult run_cluster(const ClusterHarnessOptions& opts) {
           }
           if (!children[i].view.sentinel_live) {
             fail = "sentinel dead in final report of node " + std::to_string(i);
+          }
+        }
+        // Trace-dump leg: every node that drained cleanly must have written
+        // a non-empty binary trace (adgc_node --trace-file on the SIGTERM
+        // path).
+        if (fail.empty() && !opts.obs_dump_dir.empty()) {
+          for (std::size_t i = 0; i < opts.nodes; ++i) {
+            if (i == victim && victim_gone_forever) continue;
+            const std::filesystem::path p =
+                std::filesystem::path(opts.obs_dump_dir) /
+                ("node" + std::to_string(i) + ".trace");
+            std::error_code ec;
+            if (std::filesystem::file_size(p, ec) == 0 || ec) {
+              fail = "node " + std::to_string(i) +
+                     " left no trace dump at " + p.string();
+              break;
+            }
           }
         }
         res.ok = fail.empty();

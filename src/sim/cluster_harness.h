@@ -50,6 +50,15 @@ struct ClusterHarnessOptions {
   /// Node 0 drops the ring anchor's root this long after starting.
   std::uint64_t drop_root_after_ms = 1'200;
   bool verbose = false;
+  /// When > 0, node i serves its admin endpoint on admin_base_port + i and
+  /// the harness scrapes /metrics + /healthz from every surviving node just
+  /// before the clean shutdown, failing the run unless the Prometheus
+  /// exposition parses and the key counters are non-zero. 0 = admin off.
+  std::uint16_t admin_base_port = 0;
+  /// When set, every node is passed --trace-file=<dir>/node<i>.trace so it
+  /// dumps its binary structured-event trace on clean shutdown; the harness
+  /// verifies the files exist and are non-empty (adgc_trace converts them).
+  std::string obs_dump_dir;
 };
 
 struct ClusterResult {
@@ -63,6 +72,8 @@ struct ClusterResult {
   /// Zombie leg: the resumed stale incarnation exited with the Evicted-NACK
   /// status (3) after printing NODE-EVICTED.
   bool zombie_nacked = false;
+  /// admin_base_port leg: every surviving node's /metrics scrape validated.
+  bool metrics_scraped = false;
   std::uint64_t elapsed_ms = 0;
 };
 

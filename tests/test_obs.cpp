@@ -1,0 +1,341 @@
+// Unit tests for the observability plane: log-bucketed histograms, the
+// bounded trace ring and its binary/Chrome-JSON codecs, the admin HTTP
+// request parser, and the Prometheus exposition renderer/parser.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/metrics.h"
+#include "src/obs/admin_http.h"
+#include "src/obs/histogram.h"
+#include "src/obs/prom.h"
+#include "src/obs/trace.h"
+#include "src/rt/runtime.h"
+#include "src/sim/harness.h"
+#include "src/sim/workload.h"
+
+namespace adgc {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket b holds values of bit width b: [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  // The tail bucket absorbs everything too wide to index.
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_le(0), 0u);
+  EXPECT_EQ(Histogram::bucket_le(1), 1u);
+  EXPECT_EQ(Histogram::bucket_le(2), 3u);
+  EXPECT_EQ(Histogram::bucket_le(3), 7u);
+  EXPECT_EQ(Histogram::bucket_le(Histogram::kBuckets - 1), ~std::uint64_t{0});
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lo(3), 4u);
+  // Every value lands in the bucket whose [lo, le] range contains it.
+  for (std::uint64_t v : {0ull, 1ull, 5ull, 100ull, 65'536ull, 1'000'000ull}) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_GE(v, Histogram::bucket_lo(b));
+    EXPECT_LE(v, Histogram::bucket_le(b));
+  }
+}
+
+TEST(Histogram, RecordCountSum) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  h.record(1'000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1'010u);
+  EXPECT_EQ(h.bucket(0), 1u);                         // the zero
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(5)), 2u);   // both fives
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinFactorOfTwo) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(100);   // all in [64, 127]
+  for (int i = 0; i < 10; ++i) h.record(10'000);  // tail in [8192, 16383]
+  // p50 must land in the bucket holding the bulk.
+  const std::uint64_t p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 64u);
+  EXPECT_LE(p50, 127u);
+  // p99+ must land in the tail bucket.
+  const std::uint64_t p99 = h.quantile(0.995);
+  EXPECT_GE(p99, 8'192u);
+  EXPECT_LE(p99, 16'383u);
+  EXPECT_EQ(Histogram().quantile(0.5), 0u);  // empty histogram
+}
+
+TEST(Histogram, MergeAndCopy) {
+  Histogram a, b;
+  a.record(3);
+  b.record(3);
+  b.record(300);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 306u);
+  EXPECT_EQ(a.bucket(Histogram::bucket_of(3)), 2u);
+  const Histogram copy = a;
+  a.record(1);
+  EXPECT_EQ(copy.count(), 3u);
+  EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(Metrics, HistogramsRideThroughMergeAndReport) {
+  Metrics m;
+  m.rmi_rtt_us.record(250);
+  m.rmi_rtt_us.record(800);
+  Metrics agg;
+  agg.merge(m);
+  EXPECT_EQ(agg.rmi_rtt_us.count(), 2u);
+  const std::string rep = agg.report();
+  EXPECT_NE(rep.find("rmi_rtt_us"), std::string::npos);
+  // Empty histograms stay out of the human-readable report.
+  EXPECT_EQ(rep.find("lgc_pause_us"), std::string::npos);
+  agg.reset();
+  EXPECT_EQ(agg.rmi_rtt_us.count(), 0u);
+}
+
+// --------------------------------------------------------------- trace ring
+
+obs::Event ev(SimTime ts, ProcessId proc, obs::EventType t, std::uint64_t a64 = 0) {
+  obs::Event e;
+  e.ts = ts;
+  e.proc = proc;
+  e.type = t;
+  e.a64 = a64;
+  return e;
+}
+
+TEST(TraceRing, RecordsUpToCapacityThenWrapsOldestFirst) {
+  obs::TraceRing ring(4);
+  EXPECT_TRUE(ring.enabled());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.record(ev(i, 0, obs::EventType::kLgcRun, i));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.overwritten(), 6u);
+  const std::vector<obs::Event> evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), 4u);
+  // Oldest-first: timestamps 6, 7, 8, 9.
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].ts, 6 + i);
+    EXPECT_EQ(evs[i].a64, 6 + i);
+  }
+}
+
+TEST(TraceRing, CapacityZeroDisablesRecording) {
+  obs::TraceRing ring(0);
+  EXPECT_FALSE(ring.enabled());
+  ring.record(ev(1, 0, obs::EventType::kCrash));
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+  obs::emit(nullptr, ev(1, 0, obs::EventType::kCrash));  // null-safe, no crash
+}
+
+TEST(Trace, BinaryRoundTrip) {
+  std::vector<obs::Event> in;
+  obs::Event full;
+  full.ts = 123'456'789;
+  full.proc = 7;
+  full.type = obs::EventType::kDetectionAborted;
+  full.arg = static_cast<std::uint8_t>(obs::AbortReason::kViaIc);
+  full.a32 = 42;
+  full.a64 = ~std::uint64_t{0};
+  full.b64 = 0xdeadbeefcafe;
+  in.push_back(full);
+  in.push_back(ev(1, 0, obs::EventType::kSnapshot, 3));
+  const std::vector<std::byte> bytes = obs::serialize_trace(in);
+  const std::vector<obs::Event> out = obs::parse_trace(bytes);
+  EXPECT_EQ(in, out);
+  EXPECT_TRUE(obs::parse_trace(obs::serialize_trace({})).empty());
+}
+
+TEST(Trace, ParseRejectsMalformedInput) {
+  const std::vector<obs::Event> one = {ev(5, 1, obs::EventType::kCrash)};
+  std::vector<std::byte> bytes = obs::serialize_trace(one);
+  // Truncated payload.
+  std::vector<std::byte> truncated(bytes.begin(), bytes.end() - 1);
+  EXPECT_THROW(obs::parse_trace(truncated), DecodeError);
+  // Corrupt magic.
+  std::vector<std::byte> bad_magic = bytes;
+  bad_magic[0] = std::byte{0xff};
+  EXPECT_THROW(obs::parse_trace(bad_magic), DecodeError);
+  // Count larger than the payload.
+  std::vector<std::byte> bad_count = bytes;
+  bad_count[6] = std::byte{9};
+  EXPECT_THROW(obs::parse_trace(bad_count), DecodeError);
+  EXPECT_THROW(obs::parse_trace({}), DecodeError);
+}
+
+TEST(Trace, ChromeJsonRendersDetectionSpans) {
+  std::vector<obs::Event> evs;
+  obs::Event start = ev(10, 0, obs::EventType::kDetectionStart, 1);
+  start.a32 = 0;
+  start.b64 = 99;
+  evs.push_back(start);
+  obs::Event hop = ev(20, 1, obs::EventType::kCdmHop, 1);
+  hop.a32 = 0;
+  hop.b64 = 1;
+  evs.push_back(hop);
+  obs::Event matched = ev(30, 0, obs::EventType::kDetectionMatched, 1);
+  matched.a32 = 0;
+  evs.push_back(matched);
+  const std::string json = obs::to_chrome_json(evs);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Async begin/end pair keyed by the detection, plus the hop instant.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"n\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"d0:1\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"matched\""), std::string::npos);
+  // Track metadata for both processes.
+  EXPECT_NE(json.find("\"name\":\"P0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"P1\""), std::string::npos);
+}
+
+TEST(Trace, SimTraceIsDeterministic) {
+  const auto run = [] {
+    RuntimeConfig cfg = sim::fast_config(17);
+    Runtime rt(3, cfg);
+    sim::WorkloadParams wp;
+    sim::RandomWorkload workload(rt, wp, 41);
+    for (int round = 0; round < 4; ++round) {
+      workload.steps(15);
+      rt.run_for(20'000);
+    }
+    return rt.trace_events();
+  };
+  const std::vector<obs::Event> a = run();
+  const std::vector<obs::Event> b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// -------------------------------------------------------------- http parser
+
+TEST(HttpParser, ParsesSimpleGet) {
+  obs::HttpRequest req;
+  std::size_t consumed = 0;
+  const std::string raw = "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\nleftover";
+  EXPECT_EQ(obs::parse_http_request(raw, &req, &consumed), obs::HttpParse::kOk);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/metrics");
+  EXPECT_EQ(req.minor_version, 0);
+  EXPECT_EQ(raw.substr(consumed), "leftover");
+}
+
+TEST(HttpParser, AcceptsBareLfAndHttp11) {
+  obs::HttpRequest req;
+  std::size_t consumed = 0;
+  EXPECT_EQ(obs::parse_http_request("GET /healthz HTTP/1.1\n\n", &req, &consumed),
+            obs::HttpParse::kOk);
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_EQ(req.minor_version, 1);
+}
+
+TEST(HttpParser, NeedsMoreUntilBlankLine) {
+  obs::HttpRequest req;
+  std::size_t consumed = 0;
+  EXPECT_EQ(obs::parse_http_request("GET /metrics HTTP/1.0\r\nHost:", &req, &consumed),
+            obs::HttpParse::kNeedMore);
+}
+
+TEST(HttpParser, RejectsGarbageAndOversizedInput) {
+  obs::HttpRequest req;
+  std::size_t consumed = 0;
+  EXPECT_EQ(obs::parse_http_request("NOT AN HTTP REQUEST\r\n\r\n", &req, &consumed),
+            obs::HttpParse::kBad);
+  const std::string long_target(obs::kMaxTargetBytes + 1, 'a');
+  EXPECT_EQ(obs::parse_http_request("GET /" + long_target + " HTTP/1.0\r\n\r\n",
+                                    &req, &consumed),
+            obs::HttpParse::kBad);
+  const std::string oversized(obs::kMaxRequestBytes + 1, 'x');
+  EXPECT_EQ(obs::parse_http_request(oversized, &req, &consumed),
+            obs::HttpParse::kBad);
+}
+
+TEST(HttpResponse, CarriesStatusTypeAndLength) {
+  const std::string resp = obs::http_response(200, "text/plain", "hello\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200", 0), 0u);
+  EXPECT_NE(resp.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 6\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("\r\n\r\nhello\n"), std::string::npos);
+}
+
+// --------------------------------------------------------------- prometheus
+
+TEST(Prometheus, RenderIsParseableAndComplete) {
+  Metrics m;
+  m.cdms_sent.add(12);
+  m.rmi_rtt_us.record(100);
+  m.rmi_rtt_us.record(100'000);
+  const std::string text = obs::render_prometheus(m);
+  std::map<std::string, double> samples;
+  std::string err;
+  ASSERT_TRUE(obs::parse_prometheus(text, &samples, &err)) << err;
+  EXPECT_EQ(samples.at("adgc_cdms_sent_total"), 12.0);
+  // Zero-valued counters are still exported for scrape consumers.
+  EXPECT_EQ(samples.at("adgc_messages_lost_total"), 0.0);
+  // The table-size gauge carries no _total suffix.
+  EXPECT_TRUE(samples.contains("adgc_peer_health_slots"));
+  EXPECT_FALSE(samples.contains("adgc_peer_health_slots_total"));
+  // Histogram triplet with cumulative buckets.
+  EXPECT_EQ(samples.at("adgc_rmi_rtt_us_count"), 2.0);
+  EXPECT_EQ(samples.at("adgc_rmi_rtt_us_sum"), 100'100.0);
+  EXPECT_EQ(samples.at("adgc_rmi_rtt_us_bucket{le=\"+Inf\"}"), 2.0);
+  EXPECT_EQ(samples.at("adgc_rmi_rtt_us_bucket{le=\"127\"}"), 1.0);
+  // All six histograms export their series even when empty.
+  for (const char* h : {"adgc_rmi_rtt_us_count", "adgc_lgc_pause_us_count",
+                        "adgc_snapshot_us_count", "adgc_detection_lifetime_us_count",
+                        "adgc_batch_flush_msgs_count", "adgc_tcp_writeq_depth_count"}) {
+    EXPECT_TRUE(samples.contains(h)) << h;
+  }
+}
+
+TEST(Prometheus, RenderOrderIsDeterministic) {
+  Metrics a, b;
+  a.cdms_sent.add(3);
+  b.cdms_sent.add(3);
+  EXPECT_EQ(obs::render_prometheus(a), obs::render_prometheus(b));
+  // Counter names arrive in sorted order from for_each_counter.
+  std::vector<std::string> names;
+  a.for_each_counter([&](const char* name, std::uint64_t) { names.push_back(name); });
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  names.clear();
+  a.for_each_histogram([&](const char* name, const Histogram&) {
+    names.push_back(name);
+  });
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Prometheus, ParserRejectsMalformedLines) {
+  std::map<std::string, double> samples;
+  std::string err;
+  EXPECT_FALSE(obs::parse_prometheus("metric_without_value\n", &samples, &err));
+  EXPECT_FALSE(obs::parse_prometheus("name{unterminated 1\n", &samples, &err));
+  EXPECT_FALSE(obs::parse_prometheus("x 1.2.3\n", &samples, &err));
+  EXPECT_FALSE(obs::parse_prometheus("# BOGUS comment\n", &samples, &err));
+  EXPECT_TRUE(obs::parse_prometheus("# TYPE x counter\nx 4\n", &samples, &err));
+  EXPECT_EQ(samples.at("x"), 4.0);
+}
+
+}  // namespace
+}  // namespace adgc

@@ -66,6 +66,10 @@ struct Options {
   bool batching = true;
   SimTime batch_flush_us = 0;  // 0 = keep the config default
   bool verbose = false;
+  bool admin = false;
+  std::uint16_t admin_port = 0;       // 0 = kernel-assigned
+  SimTime stats_interval_ms = 0;      // 0 = no periodic stats line
+  std::string trace_file;             // dump the trace ring here at exit
 };
 
 using cli::parse_flag;
@@ -102,6 +106,16 @@ constexpr cli::FlagSpec kNodeFlags[] = {
      "batch flush deadline (wall-clock us): the most\n"
      "latency batching may add to a control message\n"
      "(default: the config default)"},
+    {"--admin-port", "P",
+     "serve the admin HTTP endpoint (/metrics, /healthz,\n"
+     "/tracez) on 127.0.0.1:P; 0 binds a kernel-assigned\n"
+     "port, announced by an ADMIN status line"},
+    {"--stats-interval-ms", "T",
+     "periodic one-line STATS log of the key counters and\n"
+     "latency quantiles (default 0 = off)"},
+    {"--trace-file", "FILE",
+     "write the binary structured-event trace here on clean\n"
+     "exit (convert with adgc_trace)"},
     {"--verbose", nullptr, "info-level logs"},
 };
 constexpr std::size_t kNumNodeFlags = sizeof(kNodeFlags) / sizeof(kNodeFlags[0]);
@@ -184,6 +198,13 @@ Options parse(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--batch-flush-us", &v)) {
       opt.batch_flush_us = std::strtoull(v.c_str(), nullptr, 10);
       if (opt.batch_flush_us == 0) usage(argv[0], 2);
+    } else if (parse_flag(argv[i], "--admin-port", &v)) {
+      opt.admin = true;
+      opt.admin_port = static_cast<std::uint16_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--stats-interval-ms", &v)) {
+      opt.stats_interval_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--trace-file", &v)) {
+      opt.trace_file = v;
     } else if (parse_flag(argv[i], "--verbose", &v)) {
       opt.verbose = true;
     } else {
@@ -250,6 +271,10 @@ int main(int argc, char** argv) {
   nopts.listen = opt.listen;
   nopts.peers = opt.peers;
   nopts.state_dir = opt.state_dir;
+  if (opt.admin) {
+    nopts.admin_enabled = true;
+    nopts.admin_listen = "127.0.0.1:" + std::to_string(opt.admin_port);
+  }
   nopts.cfg.seed = opt.seed;
   nopts.cfg.proc.lgc_period_us = opt.lgc_ms * 1000;
   nopts.cfg.proc.snapshot_period_us = opt.snapshot_ms * 1000;
@@ -271,6 +296,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "adgc_node: start failed: %s\n", e.what());
     return 1;
   }
+  if (opt.admin) {
+    std::printf("ADMIN id=%u port=%u\n", opt.id, node.admin_port());
+    std::fflush(stdout);
+  }
 
   if (opt.plant && !node.recovered()) {
     const sim::ClusterPlant plant = *opt.plant;
@@ -288,8 +317,40 @@ int main(int argc, char** argv) {
                                     .count());
   };
 
+  // Periodic one-line stats: counters + latency quantiles out of the atomic
+  // metrics (safe to read off-thread).
+  const auto print_stats = [&](SimTime t) {
+    Metrics m = node.total_metrics();
+    std::printf("STATS id=%u t_ms=%llu msgs=%llu cdms_sent=%llu detections=%llu "
+                "cycles=%llu rmi_p50_us=%.0f rmi_p99_us=%.0f lgc_p99_us=%.0f "
+                "batch_p50=%.0f\n",
+                opt.id, static_cast<unsigned long long>(t),
+                static_cast<unsigned long long>(m.messages_delivered.get()),
+                static_cast<unsigned long long>(m.cdms_sent.get()),
+                static_cast<unsigned long long>(m.detections_started.get()),
+                static_cast<unsigned long long>(m.scions_deleted_cyclic.get()),
+                m.rmi_rtt_us.quantile(0.5), m.rmi_rtt_us.quantile(0.99),
+                m.lgc_pause_us.quantile(0.99), m.batch_flush_msgs.quantile(0.5));
+    std::fflush(stdout);
+  };
+  const auto dump_trace = [&] {
+    if (opt.trace_file.empty()) return;
+    const std::vector<obs::Event> events = node.trace_events();
+    const std::vector<std::byte> bytes = obs::serialize_trace(events);
+    if (std::FILE* f = std::fopen(opt.trace_file.c_str(), "wb")) {
+      std::fwrite(bytes.data(), 1, bytes.size(), f);
+      std::fclose(f);
+      std::printf("TRACE id=%u file=%s events=%zu\n", opt.id, opt.trace_file.c_str(),
+                  events.size());
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr, "adgc_node: cannot write %s\n", opt.trace_file.c_str());
+    }
+  };
+
   bool root_dropped = false;
   SimTime next_status_ms = opt.status_every_ms;
+  SimTime next_stats_ms = opt.stats_interval_ms;
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     const SimTime t = elapsed_ms();
@@ -320,10 +381,15 @@ int main(int argc, char** argv) {
       print_status("NODE", opt, node, t);
       next_status_ms = t + opt.status_every_ms;
     }
+    if (opt.stats_interval_ms > 0 && t >= next_stats_ms) {
+      print_stats(t);
+      next_stats_ms = t + opt.stats_interval_ms;
+    }
     if (opt.run_ms > 0 && t >= opt.run_ms) break;
   }
 
   // Clean drain: stop the collectors, flush queued frames, report, exit 0.
+  dump_trace();
   node.stop();
   print_status("NODE-EXIT", opt, node, elapsed_ms());
   return 0;

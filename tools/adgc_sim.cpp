@@ -27,9 +27,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "src/common/log.h"
+#include "src/obs/trace.h"
 #include "src/sim/chaos_sweep.h"
 #include "src/sim/harness.h"
 #include "src/sim/workload.h"
@@ -57,6 +59,7 @@ struct Options {
   std::uint64_t peer_death_timeout_ms = 0;  // --chaos only; 0 = eviction off
   bool compare_backoff = false;
   bool verbose = false;
+  std::string obs_dump;  // empty = no trace dump
 };
 
 using cli::parse_flag;
@@ -88,6 +91,10 @@ constexpr cli::FlagSpec kWorkloadFlags[] = {
      "batch flush deadline in simulated microseconds -- the\n"
      "most latency batching may add to a control message\n"
      "(default: the config default); ignored under --no-batching"},
+    {"--obs-dump", "FILE",
+     "write the merged structured-event trace of all processes\n"
+     "to FILE in the binary format adgc_trace converts to\n"
+     "Chrome trace JSON (docs/OBSERVABILITY.md)"},
     {"--verbose", nullptr, "per-round progress and info-level logs"},
 };
 constexpr std::size_t kNumWorkloadFlags =
@@ -188,6 +195,9 @@ Options parse(int argc, char** argv) {
       opt.peer_death_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--compare-backoff", &v)) {
       opt.compare_backoff = true;
+    } else if (parse_flag(argv[i], "--obs-dump", &v)) {
+      opt.obs_dump = v;
+      if (opt.obs_dump.empty()) usage(argv[0]);
     } else if (parse_flag(argv[i], "--verbose", &v)) {
       opt.verbose = true;
     } else if (parse_flag(argv[i], "--help", &v) ||
@@ -324,6 +334,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.cdms_shed.get()),
               static_cast<unsigned long long>(totals.new_set_stubs_shed.get()));
   std::printf("\nprotocol metrics:\n%s", totals.report("  ").c_str());
+
+  if (!opt.obs_dump.empty()) {
+    const std::vector<obs::Event> events = rt.trace_events();
+    const std::vector<std::byte> bytes = obs::serialize_trace(events);
+    std::ofstream out(opt.obs_dump, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.obs_dump.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::printf("TRACE file=%s events=%zu\n", opt.obs_dump.c_str(), events.size());
+  }
 
   if (!crash_dir.empty()) std::filesystem::remove_all(crash_dir);
   if (!workload.converged()) {

@@ -1,0 +1,105 @@
+// adgc_trace — converts binary structured-event traces to Chrome trace JSON.
+//
+//   adgc_trace [--out=FILE] trace1.bin [trace2.bin ...]
+//
+// Inputs are the files written by `adgc_node --trace-file` or
+// `adgc_sim --obs-dump` (one per process, or one merged file). Events from
+// all inputs are merged, sorted by timestamp and emitted as one Chrome
+// trace-event JSON document on stdout (or --out=FILE), loadable in Perfetto
+// or chrome://tracing: detections render as async spans with an instant per
+// CDM hop; crashes, restarts, evictions and collector passes render as
+// instants on their process track.
+//
+// Exit status: 0 on success, 1 on unreadable/undecodable input, 2 on usage.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/obs/trace.h"
+#include "tools/cli_flags.h"
+
+using namespace adgc;
+
+namespace {
+
+constexpr cli::FlagSpec kTraceFlags[] = {
+    {"--out", "FILE", "write the JSON here instead of stdout"},
+};
+constexpr std::size_t kNumTraceFlags = sizeof(kTraceFlags) / sizeof(kTraceFlags[0]);
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  cli::print_usage_line(out, argv0, "trace1.bin [trace2.bin ...]", kTraceFlags,
+                        kNumTraceFlags);
+  cli::print_flag_help(out, kTraceFlags, kNumTraceFlags);
+  std::exit(code);
+}
+
+bool read_file(const std::string& path, std::vector<std::byte>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  out->resize(raw.size());
+  std::memcpy(out->data(), raw.data(), raw.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (cli::parse_flag(argv[i], "--help", &v) || std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0], 0);
+    } else if (cli::parse_flag(argv[i], "--out", &v)) {
+      out_path = v;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage(argv[0], 2);
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) usage(argv[0], 2);
+
+  std::vector<obs::Event> all;
+  for (const std::string& path : inputs) {
+    std::vector<std::byte> bytes;
+    if (!read_file(path, &bytes)) {
+      std::fprintf(stderr, "adgc_trace: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    try {
+      const std::vector<obs::Event> events = obs::parse_trace(bytes);
+      all.insert(all.end(), events.begin(), events.end());
+    } catch (const DecodeError& e) {
+      std::fprintf(stderr, "adgc_trace: %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const obs::Event& a, const obs::Event& b) {
+    return a.ts < b.ts;
+  });
+
+  const std::string json = obs::to_chrome_json(all);
+  if (out_path.empty()) {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "adgc_trace: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  }
+  std::fprintf(stderr, "adgc_trace: %zu events from %zu file(s)\n", all.size(),
+               inputs.size());
+  return 0;
+}

@@ -21,6 +21,9 @@
 //     not cost more than 5% latency over unbatched.
 //   * collected: must not drop below baseline (1 → 0 means a bench ring
 //     stopped collecting).
+//   * obs_overhead_pct: must stay <= 5 — the observability plane (trace
+//     ring + event stamping) may not cost more than 5% on the RMI series,
+//     regardless of what the baseline measured (docs/OBSERVABILITY.md).
 //   * *_ms wall-clock latencies: current <= max(baseline * 1.20,
 //     baseline + 10ms) — the 20% latency gate, with an absolute floor so
 //     micro-times on shared runners don't flap (a 30ms bench jitters by
@@ -108,7 +111,16 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-enum class Gate { kIdentity, kCount, kReduction, kP50Ratio, kCollected, kWallMs, kInfo };
+enum class Gate {
+  kIdentity,
+  kCount,
+  kReduction,
+  kP50Ratio,
+  kCollected,
+  kObsOverhead,
+  kWallMs,
+  kInfo
+};
 
 Gate classify(const std::string& name) {
   if (name == "calls" || name == "batching" || name == "processes" || name == "objs") {
@@ -121,6 +133,7 @@ Gate classify(const std::string& name) {
   if (ends_with(name, "reduction_pct")) return Gate::kReduction;
   if (name == "p50_ratio") return Gate::kP50Ratio;
   if (name == "collected") return Gate::kCollected;
+  if (name == "obs_overhead_pct") return Gate::kObsOverhead;
   if (ends_with(name, "_ms")) return Gate::kWallMs;
   return Gate::kInfo;
 }
@@ -167,6 +180,14 @@ Verdict check(Gate gate, double base, double cur) {
     case Gate::kCollected:
       if (cur < base) {
         std::snprintf(buf, sizeof buf, "collection stopped succeeding (%.6g -> %.6g)",
+                      base, cur);
+        v = {true, buf};
+      }
+      break;
+    case Gate::kObsOverhead:
+      if (cur > 5.0) {
+        std::snprintf(buf, sizeof buf,
+                      "observability overhead above the 5%% budget (%.6g%% -> %.6g%%)",
                       base, cur);
         v = {true, buf};
       }

@@ -3,6 +3,7 @@
 //   cluster_harness --node-bin=PATH [--nodes=N] [--objs=K] [--no-kill]
 //                   [--kill-forever | --zombie] [--peer-death-timeout-ms=T]
 //                   [--timeout-ms=T] [--state-dir=DIR] [--seed=S] [--verbose]
+//                   [--admin-base-port=P] [--obs-dump=DIR]
 //
 // Forks N adgc_node processes on localhost, plants the Fig. 3 ring across
 // them, drops the anchor root, SIGKILLs node 1 mid-detection and restarts
@@ -15,6 +16,16 @@
 //   --zombie        SIGSTOP node 1, wait for the survivors to evict it and
 //                   clean up, SIGCONT it; the stale incarnation must be
 //                   NACKed off (exit 3), then respawn and re-integrate.
+//
+// Observability legs (docs/OBSERVABILITY.md):
+//   --admin-base-port=P  node i serves its admin endpoint on P+i; once the
+//                        cluster converges, the harness scrapes /metrics and
+//                        /healthz from every surviving node and fails unless
+//                        the Prometheus exposition parses with non-zero key
+//                        counters and >=5 histograms.
+//   --obs-dump=DIR       each node writes DIR/node<i>.trace (binary trace,
+//                        convertible with adgc_trace) on clean shutdown; the
+//                        harness fails if a surviving node leaves none.
 #include <unistd.h>
 
 #include <cstdio>
@@ -44,7 +55,8 @@ bool parse_flag(const char* arg, const char* name, std::string* value) {
   std::fprintf(stderr,
                "usage: %s --node-bin=PATH [--nodes=N] [--objs=K] [--no-kill]\n"
                "          [--kill-forever | --zombie] [--peer-death-timeout-ms=T]\n"
-               "          [--timeout-ms=T] [--state-dir=DIR] [--seed=S] [--verbose]\n",
+               "          [--timeout-ms=T] [--state-dir=DIR] [--seed=S] [--verbose]\n"
+               "          [--admin-base-port=P] [--obs-dump=DIR]\n",
                argv0);
   std::exit(code);
 }
@@ -77,6 +89,11 @@ int main(int argc, char** argv) {
       opts.state_dir = v;
     } else if (parse_flag(argv[i], "--seed", &v)) {
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--admin-base-port", &v)) {
+      opts.admin_base_port =
+          static_cast<std::uint16_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--obs-dump", &v)) {
+      opts.obs_dump_dir = v;
     } else if (parse_flag(argv[i], "--verbose", &v)) {
       opts.verbose = true;
     } else {
@@ -127,9 +144,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("cluster_harness: OK elapsed_ms=%llu victim_recovered=%d "
-              "victim_evicted=%d zombie_nacked=%d\n",
+              "victim_evicted=%d zombie_nacked=%d metrics_scraped=%d\n",
               static_cast<unsigned long long>(res.elapsed_ms),
               res.victim_recovered ? 1 : 0, res.victim_evicted ? 1 : 0,
-              res.zombie_nacked ? 1 : 0);
+              res.zombie_nacked ? 1 : 0, res.metrics_scraped ? 1 : 0);
   return 0;
 }
