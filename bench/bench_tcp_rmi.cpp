@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include "bench/bench_common.h"
@@ -254,6 +255,126 @@ WireCost run_wire_series(int bursts, int burst_size, bool batching) {
   return out;
 }
 
+/// Mutator-visible snapshot cost over a live TCP node pair, pipeline on vs
+/// off — same protocol as the threaded leg in bench_table1_rmi (off leg:
+/// take_snapshot blocks the actor for the full pass; on leg:
+/// request_snapshot pays capture + hand-off only; every request awaits its
+/// publish so neither leg coalesces), but here the snapshotted node also
+/// holds real TCP-installed remote references, so stubs and scions cross
+/// the summarizer.
+struct SnapshotCost {
+  double sync_us = 0;
+  double summarizations = 0;
+  double persist_failures = 0;
+};
+
+SnapshotCost run_snapshot_series(int snapshots, bool pipeline) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (std::string("adgc_bench_tcp_snap_") + (pipeline ? "on" : "off"));
+  fs::remove_all(dir);
+
+  const std::uint16_t p0 = reserve_port(), p1 = reserve_port();
+  const std::map<ProcessId, PeerAddr> peers = {{0, {"127.0.0.1", p0}},
+                                               {1, {"127.0.0.1", p1}}};
+  NodeRuntime::Options o0;
+  o0.pid = 0;
+  o0.cfg = node_cfg(true, 1);
+  o0.cfg.proc.snapshot_pipeline = pipeline;
+  o0.cfg.proc.snapshot_dir = (dir / "n0").string();
+  o0.listen = "127.0.0.1:" + std::to_string(p0);
+  o0.peers = peers;
+  NodeRuntime::Options o1 = o0;
+  o1.pid = 1;
+  o1.cfg = node_cfg(true, 2);
+  o1.cfg.proc.snapshot_pipeline = pipeline;
+  o1.cfg.proc.snapshot_dir = (dir / "n1").string();
+  o1.listen = "127.0.0.1:" + std::to_string(p1);
+
+  NodeRuntime snap_node(std::move(o0)), owner(std::move(o1));
+  snap_node.start();
+  owner.start();
+
+  std::vector<ExportedRef> exported(64);
+  owner.post_sync([&](Process& p) {
+    for (auto& er : exported) {
+      const ObjectSeq obj = p.create_object();
+      p.add_root(obj);
+      er = p.export_own_object(obj, 0);
+    }
+  });
+  snap_node.post_sync([&](Process& p) {
+    ObjectSeq prev = kNoObject;
+    for (int i = 0; i < 2000; ++i) {
+      const ObjectSeq obj = p.create_object(/*payload_bytes=*/256);
+      if (i % 16 == 0) p.add_root(obj);
+      if (prev != kNoObject) p.add_local_ref(prev, obj);
+      prev = obj;
+    }
+    const ObjectSeq holder = p.create_object();
+    p.add_root(holder);
+    for (const ExportedRef& er : exported) p.install_ref(holder, er);
+  });
+
+  const auto version = [&] {
+    std::uint64_t v = 0;
+    snap_node.post_sync([&](Process& p) {
+      if (auto s = p.current_summary()) v = s->version;
+    });
+    return v;
+  };
+
+  // Warm pass (store dir + summarizer memo) outside the window.
+  snap_node.post_sync([](Process& p) { p.take_snapshot(); });
+
+  double blocked_us = 0;
+  for (int i = 0; i < snapshots; ++i) {
+    snap_node.post_sync([&](Process& p) {
+      const ObjectSeq obj = p.create_object(/*payload_bytes=*/128);
+      p.add_root(obj);
+    });
+    snap_node.post_sync([&](Process& p) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (pipeline) {
+        p.request_snapshot();
+      } else {
+        p.take_snapshot();
+      }
+      blocked_us += std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    });
+    const std::uint64_t want = static_cast<std::uint64_t>(i) + 2;
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    bool ok = true;
+    while (version() < want) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr, "bench_tcp_rmi: snapshot %d never published (pipeline=%d)\n",
+                     i, pipeline);
+        ok = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!ok) {
+      snap_node.stop(0);
+      owner.stop(0);
+      fs::remove_all(dir);
+      return {};
+    }
+  }
+  const Metrics m = snap_node.total_metrics();
+  SnapshotCost out;
+  out.sync_us = blocked_us / snapshots;
+  out.summarizations = static_cast<double>(m.summarizations.get());
+  out.persist_failures = static_cast<double>(m.snapshot_persist_failures.get());
+  snap_node.stop(0);
+  owner.stop(0);
+  fs::remove_all(dir);
+  return out;
+}
+
 }  // namespace
 }  // namespace adgc
 
@@ -321,5 +442,36 @@ int main() {
                                {"p50_burst_ms", on.p50_burst_ms}});
   report.add("tcp_wire_cost_summary", {{"msg_reduction_pct", msg_reduction},
                                        {"byte_reduction_pct", byte_reduction}});
+
+  bench::header(
+      "Extension — mutator-visible snapshot cost over TCP nodes, pipeline on/off\n"
+      "(2k-object heap + 64 TCP-installed remote refs, persisted to disk;\n"
+      " bench_diff gates snapshot_sync_speedup at >= 5x)");
+  const int kSnapshots = 15;
+  const SnapshotCost sync_leg = run_snapshot_series(kSnapshots, false);
+  const SnapshotCost pipe_leg = run_snapshot_series(kSnapshots, true);
+  if (sync_leg.sync_us <= 0 || pipe_leg.sync_us <= 0) {
+    std::printf("snapshot pipeline series FAILED\n");
+    return 1;
+  }
+  const double speedup = sync_leg.sync_us / pipe_leg.sync_us;
+  std::printf("%-10s %22s %16s %18s\n", "pipeline", "actor-blocked (us)",
+              "summarizations", "persist failures");
+  std::printf("%-10s %22.1f %16.0f %18.0f\n", "off", sync_leg.sync_us,
+              sync_leg.summarizations, sync_leg.persist_failures);
+  std::printf("%-10s %22.1f %16.0f %18.0f\n", "on", pipe_leg.sync_us,
+              pipe_leg.summarizations, pipe_leg.persist_failures);
+  std::printf("mutator-visible speedup (off/on): %.2fx\n", speedup);
+  report.add("snapshot_pipeline", {{"pipeline", 0.0},
+                                   {"snapshots", static_cast<double>(kSnapshots)},
+                                   {"snapshot_sync_us", sync_leg.sync_us},
+                                   {"summarizations", sync_leg.summarizations},
+                                   {"persist_failures", sync_leg.persist_failures}});
+  report.add("snapshot_pipeline", {{"pipeline", 1.0},
+                                   {"snapshots", static_cast<double>(kSnapshots)},
+                                   {"snapshot_sync_us", pipe_leg.sync_us},
+                                   {"summarizations", pipe_leg.summarizations},
+                                   {"persist_failures", pipe_leg.persist_failures}});
+  report.add("snapshot_pipeline_summary", {{"snapshot_sync_speedup", speedup}});
   return 0;
 }

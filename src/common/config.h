@@ -116,6 +116,18 @@ struct ProcessConfig {
   std::string snapshot_dir;
   /// Snapshot files kept per process when persisting.
   std::size_t snapshot_retain = 2;
+  /// Run serialize → store-write → summarize off the mutator path: the
+  /// periodic snapshot tick captures synchronously, hands the capture to the
+  /// SnapshotPipeline, and the summary publishes back later while the
+  /// detector keeps using the previous version (paper-safe: ICs guard
+  /// against mutation, DCDA tolerates stale snapshots, §4). Direct
+  /// take_snapshot() calls remain fully synchronous either way.
+  bool snapshot_pipeline = true;
+  /// Deterministic sim only: modeled delay between a pipelined snapshot
+  /// request and its summary publish (the completion is a scheduled
+  /// self-event, so traces stay a pure function of (config, seed)). The
+  /// real runtimes publish when their background worker finishes instead.
+  SimTime snapshot_pipeline_latency_us = 1'000;
 
   // --- DCDA ---
   /// Whether the cycle detector runs at all (Table 1 baseline turns the

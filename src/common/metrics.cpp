@@ -47,6 +47,8 @@ const std::vector<Field>& fields() {
       {"snapshots_taken", &Metrics::snapshots_taken},
       {"snapshot_bytes", &Metrics::snapshot_bytes},
       {"summarizations", &Metrics::summarizations},
+      {"snapshots_coalesced", &Metrics::snapshots_coalesced},
+      {"snapshot_persist_failures", &Metrics::snapshot_persist_failures},
       {"detections_started", &Metrics::detections_started},
       {"detections_cycle_found", &Metrics::detections_cycle_found},
       {"detections_aborted_ic", &Metrics::detections_aborted_ic},
@@ -140,7 +142,9 @@ const std::vector<HistField>& hist_fields() {
         {"detection_lifetime_us", &Metrics::detection_lifetime_us},
         {"lgc_pause_us", &Metrics::lgc_pause_us},
         {"rmi_rtt_us", &Metrics::rmi_rtt_us},
-        {"snapshot_us", &Metrics::snapshot_us},
+        {"snapshot_capture_us", &Metrics::snapshot_capture_us},
+        {"snapshot_persist_us", &Metrics::snapshot_persist_us},
+        {"snapshot_summarize_us", &Metrics::snapshot_summarize_us},
         {"tcp_writeq_depth", &Metrics::tcp_writeq_depth},
     };
     std::sort(v.begin(), v.end(), [](const HistField& a, const HistField& b) {

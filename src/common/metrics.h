@@ -64,6 +64,8 @@ struct Metrics {
   Counter snapshots_taken;
   Counter snapshot_bytes;
   Counter summarizations;
+  Counter snapshots_coalesced;        // request while one in flight (pipeline)
+  Counter snapshot_persist_failures;  // store write/publish failed (summary still published)
 
   // DCDA.
   Counter detections_started;
@@ -158,7 +160,9 @@ struct Metrics {
   // Prometheus /metrics exposition (src/obs/prom.h).
   Histogram rmi_rtt_us;               // invoke → reply round trip (Env clock)
   Histogram lgc_pause_us;             // run_lgc wall time (incl. NSS build)
-  Histogram snapshot_us;              // snapshot + summarize wall time
+  Histogram snapshot_capture_us;      // heap/table capture (always mutator-visible)
+  Histogram snapshot_persist_us;      // serialize + store write (+roundtrip decode)
+  Histogram snapshot_summarize_us;    // summarization wall time
   Histogram detection_lifetime_us;    // initiator-observed detection lifetime
   Histogram batch_flush_msgs;         // messages per control-plane batch flush
   Histogram tcp_writeq_depth;         // per-peer write queue depth at enqueue

@@ -74,10 +74,15 @@ ScheduleOutcome Explorer::run_schedule(ScheduleStrategy& strategy) {
   out.trace.seed = opts_.seed;
   out.trace.max_steps = opts_.max_steps;
   out.trace.unsafe_no_ic = opts_.unsafe_no_ic;
+  out.trace.snapshot_pipeline_latency_us = opts_.snapshot_pipeline_latency_us;
 
   RuntimeConfig cfg = mc_config(opts_.seed);
   scenario->tune_config(cfg);
   cfg.proc.dcda_unsafe_ignore_ic = opts_.unsafe_no_ic;
+  if (opts_.snapshot_pipeline_latency_us > 0) {
+    cfg.proc.snapshot_pipeline = true;
+    cfg.proc.snapshot_pipeline_latency_us = opts_.snapshot_pipeline_latency_us;
+  }
   Runtime rt(scenario->num_procs(), cfg);
   const SimTime lat = cfg.net.min_latency_us;
   rt.network().set_fate_hook(
@@ -173,7 +178,10 @@ ScheduleOutcome Explorer::run_schedule(ScheduleStrategy& strategy) {
         ++lgc_used[d.a];
         break;
       case DecisionKind::kSnapshot:
-        rt.proc(d.a).take_snapshot();
+        // With the pipeline on this only *requests* the snapshot; the
+        // summary publish is a scheduled timer the explorer orders like any
+        // other pending event. Pipeline off degrades to take_snapshot().
+        rt.proc(d.a).request_snapshot();
         ++snap_used[d.a];
         break;
       case DecisionKind::kScan:
@@ -290,6 +298,7 @@ ScheduleOutcome replay_trace(const Trace& trace) {
   opts.seed = trace.seed;
   opts.max_steps = trace.max_steps;
   opts.unsafe_no_ic = trace.unsafe_no_ic;
+  opts.snapshot_pipeline_latency_us = trace.snapshot_pipeline_latency_us;
   // Fault budgets must admit every recorded fault decision; collector
   // budgets likewise (per process and kind).
   std::uint32_t collector_max = 0;

@@ -39,6 +39,12 @@ struct ExplorerOptions {
   std::uint32_t settle_rounds = 8;
   bool stop_on_violation = true;
   bool unsafe_no_ic = false;           // planted-bug knob (self-test only)
+  // Non-zero turns the snapshot pipeline ON for explored schedules: kSnapshot
+  // decisions request a snapshot whose summary publishes via a timer this
+  // many sim-µs later, making the publish race detection as an ordinary
+  // pending-event choice point. 0 (default) keeps snapshots synchronous so
+  // existing corpora replay unchanged.
+  std::uint32_t snapshot_pipeline_latency_us = 0;
 };
 
 /// What one executed schedule produced.

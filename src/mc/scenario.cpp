@@ -265,6 +265,10 @@ RuntimeConfig mc_config(std::uint64_t seed) {
   cfg.proc.adaptive_faults = false;
   cfg.proc.batching_enabled = false;
   cfg.proc.roundtrip_snapshots = false;  // pure speed: the codec has own tests
+  // Off by default so the existing trace corpus replays unchanged; the
+  // Explorer re-enables it when ExplorerOptions::snapshot_pipeline_latency_us
+  // is set, which adds the summary-publish timer as a choice point.
+  cfg.proc.snapshot_pipeline = false;
   return cfg;
 }
 

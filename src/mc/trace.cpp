@@ -8,7 +8,7 @@ namespace adgc::mc {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4D435452;  // 'MCTR'
-constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersion = 2;
 // Traces are decision lists of at most a few hundred entries; anything much
 // larger is a corrupt count prefix, not a real trace.
 constexpr std::uint32_t kMaxDecisions = 1u << 20;
@@ -36,6 +36,7 @@ std::vector<std::byte> encode_trace(const Trace& t) {
   w.u64(t.seed);
   w.u32(t.max_steps);
   w.boolean(t.unsafe_no_ic);
+  w.u32(t.snapshot_pipeline_latency_us);
   w.str(t.note);
   w.u32(static_cast<std::uint32_t>(t.decisions.size()));
   for (const Decision& d : t.decisions) {
@@ -50,12 +51,16 @@ std::vector<std::byte> encode_trace(const Trace& t) {
 Trace decode_trace(std::span<const std::byte> bytes) {
   ByteReader r(bytes);
   if (r.u32() != kMagic) throw DecodeError("trace: bad magic");
-  if (r.u16() != kVersion) throw DecodeError("trace: unsupported version");
+  const std::uint16_t version = r.u16();
+  if (version < 1 || version > kVersion) {
+    throw DecodeError("trace: unsupported version");
+  }
   Trace t;
   t.scenario = r.str();
   t.seed = r.u64();
   t.max_steps = r.u32();
   t.unsafe_no_ic = r.boolean();
+  if (version >= 2) t.snapshot_pipeline_latency_us = r.u32();
   t.note = r.str();
   const std::uint32_t count = r.u32();
   if (count > kMaxDecisions) throw DecodeError("trace: absurd decision count");
@@ -121,8 +126,11 @@ std::string describe(const Trace& t) {
   std::ostringstream os;
   os << "trace scenario=" << t.scenario << " seed=" << t.seed
      << " max_steps=" << t.max_steps
-     << (t.unsafe_no_ic ? " unsafe_no_ic" : "") << " decisions="
-     << t.decisions.size() << "\n";
+     << (t.unsafe_no_ic ? " unsafe_no_ic" : "");
+  if (t.snapshot_pipeline_latency_us != 0) {
+    os << " pipeline_latency_us=" << t.snapshot_pipeline_latency_us;
+  }
+  os << " decisions=" << t.decisions.size() << "\n";
   if (!t.note.empty()) os << "  note: " << t.note << "\n";
   for (std::size_t i = 0; i < t.decisions.size(); ++i) {
     os << "  [" << i << "] " << describe(t.decisions[i]) << "\n";

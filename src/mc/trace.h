@@ -9,8 +9,12 @@
 //
 // Binary format (versioned, little-endian, via common/bytes):
 //   u32 magic 'MCTR' | u16 version | str scenario | u64 seed |
-//   u32 max_steps | u8 unsafe_no_ic | str note | u32 count |
-//   count × (u8 kind, u32 a, u32 b, u32 c)
+//   u32 max_steps | u8 unsafe_no_ic |
+//   [v2+] u32 snapshot_pipeline_latency_us |
+//   str note | u32 count | count × (u8 kind, u32 a, u32 b, u32 c)
+//
+// v1 traces decode with snapshot_pipeline_latency_us = 0 (pipeline off),
+// which matches the semantics they were recorded under.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +55,11 @@ struct Trace {
   std::uint64_t seed = 1;     // runtime seed (determinism anchor)
   std::uint32_t max_steps = 0;
   bool unsafe_no_ic = false;  // planted-bug knob state at record time
+  // Sim-mode snapshot-pipeline publish latency (0 = pipeline off). When
+  // non-zero, kSnapshot decisions only *request* a snapshot; the summary
+  // publishes via a timer this many µs later, which the explorer schedules
+  // like any other pending event (the publish-race choice point).
+  std::uint32_t snapshot_pipeline_latency_us = 0;
   std::string note;           // free-form provenance ("found by dfs, shrunk ...")
   std::vector<Decision> decisions;
 

@@ -40,7 +40,23 @@ class Env {
 
   /// Runs `fn` on this process's execution context after `delay`.
   /// Timers fire at-least-once, in time order w.r.t. other local events.
+  /// Must be called from the process's own execution context.
   virtual void schedule(SimTime delay, std::function<void()> fn) = 0;
+
+  /// Enqueues `fn` onto this process's execution context. Unlike schedule(),
+  /// callable from any thread — the completion channel for background work
+  /// (the snapshot pipeline's publish hop). The default routes through
+  /// schedule(0, ...), which is correct for single-threaded Envs (the
+  /// deterministic simulator, test fakes); the real runtimes override it
+  /// with their thread-safe cross-thread queues.
+  virtual void post(std::function<void()> fn) { schedule(0, std::move(fn)); }
+
+  /// True when this Env is backed by real OS threads: heavy work may be
+  /// offloaded to a background worker and completions arrive via post().
+  /// False in the deterministic simulator, where offloaded work runs inline
+  /// and only its completion is deferred (a scheduled self-event after
+  /// ProcessConfig::snapshot_pipeline_latency_us).
+  virtual bool real_time() const { return false; }
 
   /// Deterministic per-process random stream.
   virtual Rng& rng() = 0;

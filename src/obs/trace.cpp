@@ -67,6 +67,9 @@ const char* to_string(EventType t) {
     case EventType::kNssRound: return "nss_round";
     case EventType::kLgcRun: return "lgc_run";
     case EventType::kSnapshot: return "snapshot";
+    case EventType::kSnapshotPersist: return "snapshot_persist";
+    case EventType::kSnapshotSummarize: return "snapshot_summarize";
+    case EventType::kSnapshotPublish: return "snapshot_publish";
   }
   return "unknown";
 }
@@ -212,6 +215,19 @@ std::string to_chrome_json(const std::vector<Event>& events) {
       case EventType::kSnapshot:
         args << "\"version\":" << ev.a64 << ",\"duration_us\":" << ev.b64;
         entry(ev, 'i', "snapshot", "", args.str());
+        break;
+      case EventType::kSnapshotPersist:
+        args << "\"version\":" << ev.a64 << ",\"duration_us\":" << ev.b64
+             << ",\"ok\":" << (ev.arg == 0 ? "true" : "false");
+        entry(ev, 'i', "snapshot persist", "", args.str());
+        break;
+      case EventType::kSnapshotSummarize:
+        args << "\"version\":" << ev.a64 << ",\"duration_us\":" << ev.b64;
+        entry(ev, 'i', "snapshot summarize", "", args.str());
+        break;
+      case EventType::kSnapshotPublish:
+        args << "\"version\":" << ev.a64 << ",\"latency_us\":" << ev.b64;
+        entry(ev, 'i', "snapshot publish", "", args.str());
         break;
     }
   }

@@ -40,7 +40,10 @@ enum class EventType : std::uint8_t {
   kRestart = 8,           // a32=restarted pid a64=new incarnation b64=recovered
   kNssRound = 9,          // a64=NewSetStubs messages sent this LGC round
   kLgcRun = 10,           // a64=objects reclaimed b64=Env-clock pause us (0 in sim)
-  kSnapshot = 11,         // a64=snapshot version b64=Env-clock duration us (0 in sim)
+  kSnapshot = 11,         // capture: a64=snapshot version b64=Env-clock capture us (0 in sim)
+  kSnapshotPersist = 12,    // arg=1 on persist failure, a64=version b64=Env-clock us
+  kSnapshotSummarize = 13,  // a64=version b64=Env-clock us
+  kSnapshotPublish = 14,    // summary adopted: a64=version b64=Env-clock us since capture
 };
 
 /// Why a detection (branch) terminated without proving a cycle.

@@ -53,6 +53,14 @@ class NodeRuntime::NodeEnv final : public Env {
   Metrics& metrics() override { return metrics_; }
   obs::TraceRing* trace() override { return trace_.enabled() ? &trace_ : nullptr; }
 
+  /// Thread-safe: the snapshot pipeline's worker hands its completion back
+  /// to the node's loop thread through the work queue.
+  void post(std::function<void()> fn) override {
+    rt_.enqueue(std::move(fn));
+  }
+
+  bool real_time() const override { return true; }
+
   /// Fires every due timer; returns microseconds until the next one (or a
   /// default poll interval when none are queued).
   SimTime pump_timers() {

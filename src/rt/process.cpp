@@ -51,6 +51,9 @@ Process::Process(ProcessId pid, const ProcessConfig& cfg, Env& env, Incarnation 
   if (!cfg_.snapshot_dir.empty()) {
     store_ = std::make_unique<SnapshotStore>(cfg_.snapshot_dir, cfg_.snapshot_retain);
   }
+  pipeline_ = std::make_unique<SnapshotPipeline>(
+      pid_, cfg_, env_, *serializer_, *summarizer_, store_.get(),
+      [this](SnapshotPipeline::Stages s) { adopt_summary(std::move(s)); });
 }
 
 Process::~Process() = default;
@@ -73,7 +76,7 @@ void Process::lgc_tick() {
 }
 
 void Process::snapshot_tick() {
-  take_snapshot();
+  request_snapshot();
   env_.schedule(cfg_.snapshot_period_us, [this] { snapshot_tick(); });
 }
 
@@ -698,31 +701,66 @@ void Process::run_lgc() {
   }
 }
 
-void Process::take_snapshot() {
+SnapshotData Process::capture_for_snapshot(std::uint64_t* version_out,
+                                           SimTime* vt_out) {
   const auto wall_start = std::chrono::steady_clock::now();
   const SimTime vt_start = env_.now();
   SnapshotData snap = capture_snapshot(pid_, env_.now(), heap_, stubs_, scions_);
   metrics().snapshots_taken.add();
-  const std::uint64_t version = snapshot_version_ + 1;
-  if (cfg_.roundtrip_snapshots || store_) {
-    const std::vector<std::byte> bytes = serializer_->serialize(snap);
-    metrics().snapshot_bytes.add(bytes.size());
-    if (store_) store_->write(pid_, version, bytes);
-    if (cfg_.roundtrip_snapshots) snap = serializer_->deserialize(bytes);
-  }
-  SummarizedGraph sum = summarizer_->summarize(snap);
-  sum.version = version;
-  snapshot_version_ = version;
-  metrics().summarizations.add();
-  summary_ = std::make_shared<const SummarizedGraph>(std::move(sum));
-  detector_->set_snapshot(summary_);
-  const auto dur_us = static_cast<std::uint64_t>(
+  // Versions are assigned at capture, so a synchronous snapshot taken while
+  // a pipelined one is in flight still sorts above it.
+  const std::uint64_t version = ++snapshot_version_;
+  metrics().snapshot_capture_us.record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - wall_start)
-          .count());
-  metrics().snapshot_us.record(dur_us);
+          .count()));
   obs::emit(env_.trace(), {env_.now(), pid_, obs::EventType::kSnapshot, 0, 0, version,
                            static_cast<std::uint64_t>(env_.now() - vt_start)});
+  *version_out = version;
+  *vt_out = vt_start;
+  return snap;
+}
+
+void Process::adopt_summary(SnapshotPipeline::Stages s) {
+  if (s.summary) {
+    summary_ = s.summary;
+    detector_->set_snapshot(summary_);
+    metrics().summarizations.add();
+  }
+  obs::emit(env_.trace(),
+            {env_.now(), pid_, obs::EventType::kSnapshotPublish,
+             static_cast<std::uint8_t>(s.persisted ? 0 : 1), 0, s.version,
+             static_cast<std::uint64_t>(env_.now() - s.requested_at)});
+  // A request arrived while this pass was in flight: re-capture now, so the
+  // coalesced request reflects everything up to this moment.
+  if (pipeline_->consume_pending()) request_snapshot();
+}
+
+void Process::take_snapshot() {
+  // Discard any in-flight pipeline pass: its (older-capture) result must not
+  // publish over the one this call is about to install — and the wait also
+  // keeps the summarizer/store single-threaded.
+  pipeline_->cancel_in_flight();
+  std::uint64_t version = 0;
+  SimTime vt_start = 0;
+  SnapshotData snap = capture_for_snapshot(&version, &vt_start);
+  adopt_summary(pipeline_->run_now(std::move(snap), version, vt_start));
+}
+
+void Process::request_snapshot() {
+  if (!cfg_.snapshot_pipeline) {
+    take_snapshot();
+    return;
+  }
+  if (pipeline_->in_flight()) {
+    pipeline_->mark_pending();
+    metrics().snapshots_coalesced.add();
+    return;
+  }
+  std::uint64_t version = 0;
+  SimTime vt_start = 0;
+  SnapshotData snap = capture_for_snapshot(&version, &vt_start);
+  pipeline_->submit(std::move(snap), version, vt_start);
 }
 
 bool Process::recover_summary_from_store() {

@@ -39,6 +39,7 @@
 #include "src/net/peer_health.h"
 #include "src/net/transport.h"
 #include "src/rt/heap.h"
+#include "src/snapshot/pipeline.h"
 #include "src/snapshot/serializer.h"
 #include "src/snapshot/snapshot_store.h"
 #include "src/snapshot/summarizer.h"
@@ -110,7 +111,19 @@ class Process {
   // ---------- collector driving (the runtimes call these on timers; tests
   // may call them directly for precise interleavings) ----------
   void run_lgc();
+  /// Synchronous snapshot: capture, serialize, persist and summarize inline,
+  /// publishing before returning. Cancels any in-flight pipeline pass first
+  /// (its stale result is discarded), so tests and the model checker see
+  /// deterministic, immediately-visible summaries.
   void take_snapshot();
+  /// Pipelined snapshot: captures synchronously, then serializes/persists/
+  /// summarizes off the critical path, publishing the summary back through
+  /// an Env completion event (the detector keeps the previous version
+  /// meanwhile). Single-in-flight: a request while one is in flight is
+  /// coalesced (re-captured when the publish lands). Falls back to
+  /// take_snapshot() when ProcessConfig::snapshot_pipeline is off. This is
+  /// what the periodic snapshot tick drives.
+  void request_snapshot();
   void run_dcda_scan();
 
   /// Restores the summarized snapshot from the persistent store (config
@@ -180,6 +193,8 @@ class Process {
   GlobalTraceCollector& gtrace() { return *gtrace_; }
   std::shared_ptr<const SummarizedGraph> current_summary() const { return summary_; }
   std::uint64_t snapshot_version() const { return snapshot_version_; }
+  /// True while a pipelined snapshot is between capture and publish.
+  bool snapshot_in_flight() const { return pipeline_ && pipeline_->in_flight(); }
   SimTime now() const { return env_.now(); }
   std::size_t pending_exports() const { return handshakes_.size(); }
   PeerHealthTracker& peer_health() { return peer_health_; }
@@ -264,6 +279,12 @@ class Process {
   // DCDA hook.
   void on_cycle_found(DetectionId id, RefId candidate, std::uint64_t expected_ic);
 
+  /// Publish hop of both snapshot paths: installs the summary, hands it to
+  /// the detector, and re-captures if a pipelined request was coalesced.
+  void adopt_summary(SnapshotPipeline::Stages s);
+  /// Shared head of both snapshot paths: captures and stamps the version.
+  SnapshotData capture_for_snapshot(std::uint64_t* version_out, SimTime* vt_out);
+
   // Periodic task drivers.
   void lgc_tick();
   void snapshot_tick();
@@ -322,6 +343,9 @@ class Process {
   std::unique_ptr<Detector> detector_;
   std::unique_ptr<BacktraceDetector> backtracer_;
   std::unique_ptr<GlobalTraceCollector> gtrace_;
+  /// Declared after the serializer/summarizer/store it borrows: destroyed
+  /// first, which joins the background worker before its inputs die.
+  std::unique_ptr<SnapshotPipeline> pipeline_;
   std::uint64_t scan_seq_ = 0;  // candidate round-robin cursor
   bool started_ = false;
 };

@@ -45,6 +45,14 @@ class ThreadedRuntime::ThreadEnv final : public Env {
   Metrics& metrics() override { return metrics_; }
   obs::TraceRing* trace() override { return trace_.enabled() ? &trace_ : nullptr; }
 
+  /// Thread-safe: the snapshot pipeline's worker hands its completion back
+  /// to the owning worker thread through the network's post queue.
+  void post(std::function<void()> fn) override {
+    rt_.network_->post(pid_, std::move(fn));
+  }
+
+  bool real_time() const override { return true; }
+
   /// Drops every pending timer (crash path; their closures capture the dying
   /// Process). Must run on the owning worker thread, like all timer access.
   void clear_timers() { timers_ = {}; }

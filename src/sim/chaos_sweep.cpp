@@ -37,6 +37,7 @@ ChaosSweepResult run_chaos_sweep(const ChaosSweepParams& p) {
 
   RuntimeConfig cfg = fast_config(p.seed);
   cfg.proc.batching_enabled = p.batching;
+  cfg.proc.snapshot_pipeline = p.snapshot_pipeline;
   cfg.proc.peer_death_timeout_us = p.peer_death_timeout_us;
   if (p.with_crashes) cfg.proc.snapshot_dir = dir.string();
 

@@ -43,6 +43,11 @@ struct ChaosSweepParams {
   /// AddScion acks). Both wire shapes must pass the same oracles; the
   /// differential leg in test_chaos_sweep runs one seed each way.
   bool batching = true;
+  /// Asynchronous snapshot pipeline (periodic snapshots publish their
+  /// summary after `snapshot_pipeline_latency_us`, detector reads the stale
+  /// one meanwhile). Both modes must pass the same oracles; the differential
+  /// leg in test_chaos_sweep runs one seed each way.
+  bool snapshot_pipeline = true;
   /// Fault-free settle after the storm; must exceed the largest detection
   /// backoff (`detection_backoff_cap_us`) so deferred candidates re-launch.
   SimTime settle_us = 12'000'000;

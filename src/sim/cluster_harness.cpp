@@ -272,9 +272,9 @@ std::string scrape_admin(std::size_t node, std::uint16_t port) {
   }
   int histograms = 0;
   for (const char* key :
-       {"adgc_rmi_rtt_us_count", "adgc_lgc_pause_us_count", "adgc_snapshot_us_count",
-        "adgc_detection_lifetime_us_count", "adgc_batch_flush_msgs_count",
-        "adgc_tcp_writeq_depth_count"}) {
+       {"adgc_rmi_rtt_us_count", "adgc_lgc_pause_us_count",
+        "adgc_snapshot_capture_us_count", "adgc_detection_lifetime_us_count",
+        "adgc_batch_flush_msgs_count", "adgc_tcp_writeq_depth_count"}) {
     if (samples.contains(key)) ++histograms;
   }
   if (histograms < 5) {

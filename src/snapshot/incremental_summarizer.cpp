@@ -8,7 +8,11 @@
 // only become reachable through a *changed* field of some visited object,
 // and deletions of visited objects are changes by definition. Hence the
 // memoized result is reused iff V ∩ changed = ∅ (and the scion itself is
-// unchanged apart from its IC, which is copied fresh).
+// unchanged apart from its IC, which is copied fresh). The stub-table
+// membership of the encountered remote references is NOT part of V's
+// fingerprints, so it is never baked into the memo: the memo keeps every
+// encountered ref and StubsFrom is re-derived per snapshot as the
+// intersection with the stubs present in that snapshot.
 #include <algorithm>
 #include <unordered_set>
 
@@ -64,17 +68,26 @@ SummarizedGraph IncrementalSummarizer::summarize(const SnapshotData& snap) {
     }
   }
 
-  // The set of stubs present now — memoized stub lists may contain refs
-  // whose stub has since disappeared; those entries invalidate the memo.
-  auto stubs_still_present = [&](const Memo& m) {
-    return std::all_of(m.stubs_from.begin(), m.stubs_from.end(),
-                       [&](RefId r) { return out.stubs.contains(r); });
+  // A memo records every remote reference the traversal *encountered*, not
+  // just those whose stub existed at memo time. StubsFrom is then derived
+  // per snapshot as the intersection with the currently-present stub set —
+  // so a stub-table entry appearing (or vanishing) between snapshots is
+  // reflected without invalidating the memo. Filtering at memo time instead
+  // was unsound: an appearing stub left every visited object's fingerprint
+  // unchanged, and the reused summary silently dropped its StubsFrom edge.
+  auto present_stubs = [&](const std::vector<RefId>& remote_refs) {
+    std::vector<RefId> out_refs;
+    out_refs.reserve(remote_refs.size());
+    for (RefId r : remote_refs) {
+      if (out.stubs.contains(r)) out_refs.push_back(r);
+    }
+    return out_refs;  // sorted: remote_refs is sorted
   };
 
   for (const auto& s : snap.scions) {
     auto& sum = out.scions.at(s.ref);
     auto mit = memo_.find(s.ref);
-    bool reusable = mit != memo_.end() && stubs_still_present(mit->second);
+    bool reusable = mit != memo_.end();
     if (reusable) {
       for (ObjectSeq v : mit->second.visited) {
         if (changed.contains(v)) {
@@ -84,12 +97,13 @@ SummarizedGraph IncrementalSummarizer::summarize(const SnapshotData& snap) {
       }
     }
     if (reusable) {
-      sum.stubs_from = mit->second.stubs_from;
+      sum.stubs_from = present_stubs(mit->second.remote_refs);
       ++last_reused_;
       continue;
     }
 
-    // Full forward traversal; record the visited set for next time.
+    // Full forward traversal; record the visited set and every encountered
+    // remote reference for next time.
     ++last_recomputed_;
     Memo memo;
     std::vector<std::size_t> stack;
@@ -107,16 +121,15 @@ SummarizedGraph IncrementalSummarizer::summarize(const SnapshotData& snap) {
       stack.pop_back();
       const auto& obj = snap.objects[cur];
       memo.visited.push_back(obj.seq);
-      for (RefId ref : obj.remote_fields) {
-        if (out.stubs.contains(ref)) memo.stubs_from.push_back(ref);
-      }
+      for (RefId ref : obj.remote_fields) memo.remote_refs.push_back(ref);
       for (ObjectSeq next : obj.local_fields) push(next);
     }
     std::sort(memo.visited.begin(), memo.visited.end());
-    std::sort(memo.stubs_from.begin(), memo.stubs_from.end());
-    memo.stubs_from.erase(std::unique(memo.stubs_from.begin(), memo.stubs_from.end()),
-                          memo.stubs_from.end());
-    sum.stubs_from = memo.stubs_from;
+    std::sort(memo.remote_refs.begin(), memo.remote_refs.end());
+    memo.remote_refs.erase(
+        std::unique(memo.remote_refs.begin(), memo.remote_refs.end()),
+        memo.remote_refs.end());
+    sum.stubs_from = present_stubs(memo.remote_refs);
     memo_[s.ref] = std::move(memo);
   }
 

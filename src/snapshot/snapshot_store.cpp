@@ -55,32 +55,81 @@ std::filesystem::path SnapshotStore::write(ProcessId pid, std::uint64_t version,
               static_cast<std::streamsize>(header.size()));
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
-    if (!out) throw std::runtime_error("snapshot store: write failed: " + tmp.string());
+    if (!out) {
+      std::error_code rm;
+      std::filesystem::remove(tmp, rm);
+      throw std::runtime_error("snapshot store: write failed: " + tmp.string());
+    }
   }
-  // Atomic publish: readers only ever see complete files.
-  std::filesystem::rename(tmp, path);
+  // Atomic publish: readers only ever see complete files. A failed rename
+  // must not fall through to prune() — pruning after a failed publish could
+  // delete the only readable versions.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw std::runtime_error("snapshot store: publish failed: " + path.string() +
+                             ": " + ec.message());
+  }
+  ensure_scanned();
+  std::vector<std::uint64_t>& vs = cache_[pid];
+  auto it = std::lower_bound(vs.begin(), vs.end(), version);
+  if (it == vs.end() || *it != version) vs.insert(it, version);
   prune(pid);
   return path;
 }
 
-std::vector<std::uint64_t> SnapshotStore::versions(ProcessId pid) const {
-  std::vector<std::uint64_t> out;
-  char prefix[32];
-  std::snprintf(prefix, sizeof prefix, "snapshot_p%u_v", pid);
+void SnapshotStore::ensure_scanned() const {
+  if (scanned_) return;
+  scanned_ = true;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind(prefix, 0) != 0 || name.size() < std::strlen(prefix) + 4) continue;
-    if (name.substr(name.size() - 4) != ".bin") continue;
+    // snapshot_p<pid>_v<digits>.bin — anything else (including names whose
+    // version run is empty, non-numeric or absurdly long) is skipped, never
+    // parsed: strtoull on "garbage" would alias it to version 0.
+    unsigned pid_val = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "snapshot_p%u_v%n", &pid_val, &consumed) != 1 ||
+        consumed <= 0) {
+      continue;
+    }
+    if (name.size() < static_cast<std::size_t>(consumed) + 4 ||
+        name.substr(name.size() - 4) != ".bin") {
+      continue;
+    }
     const std::string digits =
-        name.substr(std::strlen(prefix), name.size() - std::strlen(prefix) - 4);
-    out.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+        name.substr(static_cast<std::size_t>(consumed),
+                    name.size() - static_cast<std::size_t>(consumed) - 4);
+    const bool valid = !digits.empty() && digits.size() <= 20 &&
+                       std::all_of(digits.begin(), digits.end(), [](char c) {
+                         return c >= '0' && c <= '9';
+                       });
+    if (!valid) {
+      ++malformed_skipped_;
+      ADGC_WARN("snapshot store: ignoring malformed snapshot name " << name);
+      continue;
+    }
+    cache_[static_cast<ProcessId>(pid_val)].push_back(
+        std::strtoull(digits.c_str(), nullptr, 10));
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  for (auto& [pid, vs] : cache_) {
+    std::sort(vs.begin(), vs.end());
+    vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+  }
+}
+
+std::vector<std::uint64_t> SnapshotStore::versions(ProcessId pid) const {
+  ensure_scanned();
+  auto it = cache_.find(pid);
+  return it == cache_.end() ? std::vector<std::uint64_t>{} : it->second;
 }
 
 void SnapshotStore::prune(ProcessId pid) {
-  std::vector<std::uint64_t> vs = versions(pid);
+  ensure_scanned();
+  auto it = cache_.find(pid);
+  if (it == cache_.end()) return;
+  std::vector<std::uint64_t>& vs = it->second;
   while (vs.size() > retain_) {
     std::error_code ec;
     std::filesystem::remove(path_for(pid, vs.front()), ec);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <optional>
 #include <span>
 #include <vector>
@@ -25,7 +26,9 @@ class SnapshotStore {
   explicit SnapshotStore(std::filesystem::path dir, std::size_t retain = 2);
 
   /// Persists one serialized snapshot; prunes old versions past the
-  /// retention count. Returns the file path.
+  /// retention count. Returns the file path. Throws std::runtime_error when
+  /// the write or the atomic rename-publish fails; a failed publish skips
+  /// pruning, so the previously retained versions stay readable.
   std::filesystem::path write(ProcessId pid, std::uint64_t version,
                               std::span<const std::byte> bytes);
 
@@ -38,19 +41,31 @@ class SnapshotStore {
   /// or truncated files are skipped (and reported via corrupt_skipped()).
   std::optional<Stored> read_latest(ProcessId pid);
 
-  /// Versions currently on disk for `pid`, ascending.
+  /// Versions this store knows for `pid`, ascending. The directory is
+  /// scanned once, lazily, on first use; afterwards write()/prune() maintain
+  /// the cached list so the hot path never re-lists the directory. Files
+  /// added behind the store's back after that first scan are not observed
+  /// (open a fresh SnapshotStore to re-scan).
   std::vector<std::uint64_t> versions(ProcessId pid) const;
 
   std::size_t corrupt_skipped() const { return corrupt_skipped_; }
+  std::size_t malformed_skipped() const { return malformed_skipped_; }
   const std::filesystem::path& dir() const { return dir_; }
 
  private:
   std::filesystem::path path_for(ProcessId pid, std::uint64_t version) const;
   void prune(ProcessId pid);
+  /// One-time directory scan populating the version cache.
+  void ensure_scanned() const;
 
   std::filesystem::path dir_;
   std::size_t retain_;
   std::size_t corrupt_skipped_ = 0;
+  /// Directory entries that look like snapshots but fail name validation
+  /// (e.g. "snapshot_p1_vgarbage.bin"); skipped, never aliased to a version.
+  mutable std::size_t malformed_skipped_ = 0;
+  mutable bool scanned_ = false;
+  mutable std::map<ProcessId, std::vector<std::uint64_t>> cache_;  // ascending
 };
 
 }  // namespace adgc

@@ -59,7 +59,12 @@ class IncrementalSummarizer final : public Summarizer {
  private:
   struct Memo {
     std::vector<ObjectSeq> visited;  // sorted
-    std::vector<RefId> stubs_from;   // sorted
+    /// Every remote reference the traversal encountered, whether or not a
+    /// stub-table entry existed for it at memo time — StubsFrom is derived
+    /// per snapshot by intersecting with the stubs present *then*. Recording
+    /// only present stubs is unsound: a stub appearing later changes no
+    /// visited fingerprint, so the memo would be reused while missing it.
+    std::vector<RefId> remote_refs;  // sorted, unique
   };
 
   // Compact fingerprint of one object's identity-relevant content.

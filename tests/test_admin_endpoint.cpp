@@ -94,7 +94,8 @@ TEST(AdminEndpoint, ServesMetricsHealthAndTrace) {
   EXPECT_GT(samples.at("adgc_rmi_rtt_us_count"), 0.0);
   int histograms = 0;
   for (const char* h : {"adgc_rmi_rtt_us_count", "adgc_lgc_pause_us_count",
-                        "adgc_snapshot_us_count", "adgc_detection_lifetime_us_count",
+                        "adgc_snapshot_capture_us_count",
+                        "adgc_detection_lifetime_us_count",
                         "adgc_batch_flush_msgs_count", "adgc_tcp_writeq_depth_count"}) {
     if (samples.contains(h)) ++histograms;
   }

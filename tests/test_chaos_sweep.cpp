@@ -71,6 +71,27 @@ TEST(ChaosSweep, DegradationOraclesHoldWithAndWithoutBatching) {
   }
 }
 
+// The asynchronous snapshot pipeline defers every periodic summary publish
+// by snapshot_pipeline_latency_us, so detections run against a view one
+// publish older than the synchronous path would install — exactly the stale
+// views §4's IC rules are built to reject. The degradation oracles must hold
+// with the pipeline on and off; one seed each way keeps the differential
+// cheap (TenSeeds above already storms the default-on shape).
+TEST(ChaosSweep, DegradationOraclesHoldWithAndWithoutPipeline) {
+  for (const bool pipeline : {true, false}) {
+    sim::ChaosSweepParams p;
+    p.seed = 7;
+    p.snapshot_pipeline = pipeline;
+    const sim::ChaosSweepResult res = sim::run_chaos_sweep(p);
+    EXPECT_FALSE(res.live_lost)
+        << "SAFETY snapshot_pipeline=" << pipeline << ": " << res.detail;
+    EXPECT_TRUE(res.cycles_collected)
+        << "COMPLETENESS snapshot_pipeline=" << pipeline << ": " << res.detail;
+    EXPECT_EQ(res.crashes, res.recovered) << "snapshot_pipeline=" << pipeline;
+    EXPECT_GT(res.messages_lost, 0u) << "snapshot_pipeline=" << pipeline;
+  }
+}
+
 // Permanent-failure eviction armed during the same storm must be a no-op:
 // a peer_death_timeout comfortably above every transient silence the sweep
 // injects (partitions and crash downtime are both well under a second) may

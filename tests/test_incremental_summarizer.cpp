@@ -130,6 +130,29 @@ TEST(Incremental, VanishedStubInvalidatesMemo) {
   EXPECT_TRUE(g.scion(make_ref_id(9, 1))->stubs_from.empty());
 }
 
+TEST(Incremental, AppearedStubRestoresEdgeOnReuse) {
+  // Regression: a remote field whose stub-table entry *appears* between
+  // snapshots leaves every visited object's fingerprint unchanged, so the
+  // memo is (correctly) reused — but a memo that filtered the stub set at
+  // record time silently dropped the new StubsFrom edge, understating the
+  // scion's support and letting the DCDA misjudge a live cycle as garbage.
+  World w;
+  const ObjectSeq a = w.heap.allocate();
+  const RefId r = make_ref_id(0, 1);
+  w.heap.add_remote_field(a, r);  // dangling: no stub entry yet
+  w.scions.ensure(make_ref_id(9, 1), 9, a, 0);
+  IncrementalSummarizer inc;
+  const SummarizedGraph g1 = inc.summarize(w.snap());
+  EXPECT_TRUE(g1.scion(make_ref_id(9, 1))->stubs_from.empty());
+
+  // The stub materializes with no heap mutation at all (e.g. the field was
+  // written ahead of the NewSetStubs exchange that registers the stub).
+  w.stubs.ensure(r, ObjectId{1, 1}, 0);
+  const SummarizedGraph g2 = inc.summarize(w.snap());
+  EXPECT_EQ(inc.last_reused(), 1u) << "no object changed: memo must be reused";
+  EXPECT_EQ(g2.scion(make_ref_id(9, 1))->stubs_from, std::vector<RefId>{r});
+}
+
 TEST(Incremental, NewScionComputed) {
   World w;
   const ObjectSeq a = w.heap.allocate();
@@ -181,9 +204,10 @@ TEST_P(IncrementalEquiv, MatchesStatelessAcrossMutations) {
   IncrementalSummarizer inc;
   BfsSummarizer bfs;
   for (int round = 0; round < 30; ++round) {
-    // Random structural mutations.
+    // Random structural mutations — including stub-table-only churn, which
+    // must be reflected by reused memos (the appearing-stub regression).
     for (int m = 0; m < 4; ++m) {
-      const auto op = rng.below(4);
+      const auto op = rng.below(6);
       const ObjectSeq from = objs[rng.below(objs.size())];
       if (op == 0) {
         w.heap.add_local_field(from, objs[rng.below(objs.size())]);
@@ -194,11 +218,17 @@ TEST_P(IncrementalEquiv, MatchesStatelessAcrossMutations) {
         }
       } else if (op == 2) {
         w.heap.add_remote_field(from, make_ref_id(0, 1 + rng.below(6)));
-      } else {
+      } else if (op == 3) {
         HeapObject* o = w.heap.find(from);
         if (o && !o->remote_fields.empty()) {
           w.heap.remove_remote_field(from, o->remote_fields[0]);
         }
+      } else if (op == 4) {
+        const std::uint64_t k = 1 + rng.below(6);
+        w.stubs.ensure(make_ref_id(0, k),
+                       ObjectId{1, static_cast<ObjectSeq>(k)}, 0);
+      } else {
+        w.stubs.erase(make_ref_id(0, 1 + rng.below(6)));
       }
     }
     // Random IC churn.

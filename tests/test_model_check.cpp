@@ -35,6 +35,7 @@ TEST(McTrace, RoundTripsThroughCodec) {
   t.seed = 99;
   t.max_steps = 60;
   t.unsafe_no_ic = true;
+  t.snapshot_pipeline_latency_us = 250;
   t.note = "hand-made";
   t.decisions = {
       {DecisionKind::kScript, 0, 0, 0},
@@ -50,6 +51,31 @@ TEST(McTrace, RoundTripsThroughCodec) {
   const std::vector<std::byte> bytes = encode_trace(t);
   const Trace back = decode_trace(bytes);
   EXPECT_EQ(back, t);
+}
+
+TEST(McTrace, DecodesVersion1WithPipelineOff) {
+  // A v1 trace (recorded before the pipeline latency field existed) must
+  // decode with snapshot_pipeline_latency_us = 0 — the semantics it was
+  // recorded under.
+  ByteWriter w;
+  w.u32(0x4D435452);  // 'MCTR'
+  w.u16(1);
+  w.str("fig3");
+  w.u64(7);
+  w.u32(20);
+  w.boolean(false);
+  w.str("legacy");
+  w.u32(1);
+  w.u8(static_cast<std::uint8_t>(DecisionKind::kLgc));
+  w.u32(0);
+  w.u32(0);
+  w.u32(0);
+  const Trace t = decode_trace(w.take());
+  EXPECT_EQ(t.scenario, "fig3");
+  EXPECT_EQ(t.seed, 7u);
+  EXPECT_EQ(t.snapshot_pipeline_latency_us, 0u);
+  ASSERT_EQ(t.decisions.size(), 1u);
+  EXPECT_EQ(t.decisions[0].kind, DecisionKind::kLgc);
 }
 
 TEST(McTrace, RejectsCorruptInput) {
@@ -248,6 +274,45 @@ TEST(McExplore, DfsIsDeterministic) {
   EXPECT_EQ(a.total_decisions, b.total_decisions);
   EXPECT_EQ(a.detections_started, b.detections_started);
   EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+}
+
+// With the pipeline on, a kSnapshot decision only requests the snapshot;
+// the summary publish is a pending timer the explorer orders against
+// everything else — detections race summary publication as a first-class
+// choice point. Safety and (fault-free) completeness must hold across the
+// enlarged schedule space.
+TEST(McExplore, PublishRaceDfsIsViolationFree) {
+  ExplorerOptions opts;
+  opts.scenario = ScenarioKind::kRace;
+  opts.max_steps = 16;
+  opts.max_schedules = 200 * soak_mult();
+  opts.snapshot_pipeline_latency_us = 50;
+  DfsStrategy dfs;
+  Explorer ex(opts);
+  const ExploreResult res = ex.explore(dfs);
+  EXPECT_FALSE(res.failure.has_value())
+      << res.failure->violation.value_or("") << "\n"
+      << describe(res.failure->trace);
+  EXPECT_GT(res.schedules, 0u);
+}
+
+TEST(McExplore, PublishRaceTraceReplaysIdentically) {
+  ExplorerOptions opts;
+  opts.scenario = ScenarioKind::kFig3;
+  opts.max_steps = 14;
+  opts.snapshot_pipeline_latency_us = 100;
+  PctStrategy pct(31, /*change_points=*/3, opts.max_steps);
+  Explorer ex(opts);
+  const ScheduleOutcome out = ex.run_one(pct);
+  ASSERT_FALSE(out.violation.has_value()) << *out.violation;
+  // The latency knob travels in the trace header, so the schedule replays
+  // under the same pipeline semantics it was recorded under.
+  EXPECT_EQ(out.trace.snapshot_pipeline_latency_us, 100u);
+  const Trace decoded = decode_trace(encode_trace(out.trace));
+  EXPECT_EQ(decoded, out.trace);
+  const ScheduleOutcome replayed = replay_trace(decoded);
+  EXPECT_FALSE(replayed.violation.has_value()) << *replayed.violation;
+  EXPECT_EQ(replayed.trace.decisions, out.trace.decisions);
 }
 
 // ------------------------------------------------------- planted-bug self-test

@@ -302,9 +302,12 @@ TEST(Prometheus, RenderIsParseableAndComplete) {
   EXPECT_EQ(samples.at("adgc_rmi_rtt_us_sum"), 100'100.0);
   EXPECT_EQ(samples.at("adgc_rmi_rtt_us_bucket{le=\"+Inf\"}"), 2.0);
   EXPECT_EQ(samples.at("adgc_rmi_rtt_us_bucket{le=\"127\"}"), 1.0);
-  // All six histograms export their series even when empty.
+  // All histograms export their series even when empty.
   for (const char* h : {"adgc_rmi_rtt_us_count", "adgc_lgc_pause_us_count",
-                        "adgc_snapshot_us_count", "adgc_detection_lifetime_us_count",
+                        "adgc_snapshot_capture_us_count",
+                        "adgc_snapshot_persist_us_count",
+                        "adgc_snapshot_summarize_us_count",
+                        "adgc_detection_lifetime_us_count",
                         "adgc_batch_flush_msgs_count", "adgc_tcp_writeq_depth_count"}) {
     EXPECT_TRUE(samples.contains(h)) << h;
   }

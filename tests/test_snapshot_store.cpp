@@ -101,6 +101,72 @@ TEST_F(StoreTest, EmptyPayloadOk) {
   EXPECT_TRUE(back->bytes.empty());
 }
 
+// ---- fault paths: failed publish, malformed names, cache semantics ----
+
+TEST_F(StoreTest, FailedPublishThrowsAndSkipsPrune) {
+  SnapshotStore store(dir_, /*retain=*/2);
+  store.write(1, 1, blob({1}));
+  store.write(1, 2, blob({2}));
+  // Force the atomic rename-publish to fail: a *directory* squats on the
+  // target path, so rename(file, dir) errors out.
+  fs::create_directory(dir_ / "snapshot_p1_v00000000000000000003.bin");
+  EXPECT_THROW(store.write(1, 3, blob({3})), std::runtime_error);
+  // The failure must not fall through to prune(): both published versions
+  // survive and remain readable.
+  EXPECT_EQ(store.versions(1), (std::vector<std::uint64_t>{1, 2}));
+  const auto back = store.read_latest(1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, 2u);
+  // The temp file was cleaned up, not leaked.
+  std::size_t tmps = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    if (e.path().extension() == ".tmp") ++tmps;
+  }
+  EXPECT_EQ(tmps, 0u);
+}
+
+TEST_F(StoreTest, MalformedNamesDoNotAliasVersionZero) {
+  // Regression: strtoull("garbage") == 0, so this name used to be listed as
+  // version 0 of process 1 — and read_latest would then try to open the
+  // (nonexistent) canonical path for v0.
+  fs::create_directories(dir_);
+  { std::ofstream(dir_ / "snapshot_p1_vgarbage.bin") << "junk"; }
+  { std::ofstream(dir_ / "snapshot_p1_v.bin") << "junk"; }
+  { std::ofstream(dir_ / "snapshot_p1_v123456789012345678901.bin") << "junk"; }
+  { std::ofstream(dir_ / "notes.txt") << "unrelated"; }
+  SnapshotStore store(dir_, 5);
+  EXPECT_TRUE(store.versions(1).empty());
+  EXPECT_FALSE(store.read_latest(1).has_value());
+  EXPECT_GE(store.malformed_skipped(), 3u);
+  // Valid writes still work alongside the junk.
+  store.write(1, 5, blob({5}));
+  EXPECT_EQ(store.versions(1), (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(store.read_latest(1)->version, 5u);
+}
+
+TEST_F(StoreTest, UnpublishedTmpFilesAreInvisible) {
+  // A crash between write and rename leaves a .tmp behind; recovery must
+  // only ever observe published versions.
+  fs::create_directories(dir_);
+  { std::ofstream(dir_ / "snapshot_p2_v00000000000000000009.bin.tmp") << "partial"; }
+  SnapshotStore store(dir_, 5);
+  EXPECT_TRUE(store.versions(2).empty());
+  EXPECT_FALSE(store.read_latest(2).has_value());
+  EXPECT_EQ(store.malformed_skipped(), 0u) << ".tmp is expected, not malformed";
+}
+
+TEST_F(StoreTest, VersionListIsCachedAfterInitialScan) {
+  SnapshotStore store(dir_, 5);
+  store.write(0, 1, blob({1}));
+  EXPECT_EQ(store.versions(0), (std::vector<std::uint64_t>{1}));
+  // Files dropped in externally after the scan are not observed: the store
+  // owns its directory and never rescans on write() (that was the per-write
+  // O(dir) cost this cache removes).
+  { std::ofstream(dir_ / "snapshot_p0_v00000000000000000099.bin") << "ext"; }
+  store.write(0, 2, blob({2}));
+  EXPECT_EQ(store.versions(0), (std::vector<std::uint64_t>{1, 2}));
+}
+
 // ---- end-to-end: processes persist snapshots and recover their view ----
 
 TEST_F(StoreTest, ProcessPersistsAndRecovers) {

@@ -50,6 +50,12 @@ constexpr cli::FlagSpec kFlags[] = {
     {"--no-liveness", nullptr, "skip the settle + completeness phase (safety only)"},
     {"--unsafe-no-ic", nullptr, "planted bug: run the DCDA with invocation counters\n"
                                 "ignored (self-test; violations are expected)"},
+    {"--pipeline-latency-us", "T",
+     "turn the async snapshot pipeline ON for explored schedules:\n"
+     "kSnapshot decisions request a snapshot whose summary\n"
+     "publishes via a timer T sim-us later — a pending event the\n"
+     "explorer orders like any other, adding the detection-vs-\n"
+     "publish race as a choice point (default 0 = synchronous)"},
     {"--time-budget-ms", "T", "wall-clock bound for the exploration (default none)"},
     {"--log", "L", "runtime log level while exploring/replaying:\n"
                    "trace | debug | info | warn (default off)"},
@@ -147,6 +153,9 @@ Options parse(int argc, char** argv) {
       opt.ex.check_liveness = false;
     } else if (cli::parse_flag(argv[i], "--unsafe-no-ic", &v)) {
       opt.ex.unsafe_no_ic = true;
+    } else if (cli::parse_flag(argv[i], "--pipeline-latency-us", &v)) {
+      opt.ex.snapshot_pipeline_latency_us =
+          static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (cli::parse_flag(argv[i], "--time-budget-ms", &v)) {
       opt.ex.time_budget_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (cli::parse_flag(argv[i], "--log", &v)) {
@@ -232,11 +241,12 @@ int run_explore(const Options& opt) {
 
   mc::Explorer explorer(opt.ex);
   std::printf("adgc_mc: strategy=%s scenario=%s steps=%u schedules=%llu seed=%llu "
-              "loss_budget=%u crash_budget=%u%s\n",
+              "loss_budget=%u crash_budget=%u pipeline_latency_us=%u%s\n",
               opt.strategy.c_str(), mc::scenario_name(opt.ex.scenario), opt.ex.max_steps,
               static_cast<unsigned long long>(opt.ex.max_schedules),
               static_cast<unsigned long long>(opt.ex.seed), opt.ex.loss_budget,
-              opt.ex.crash_budget, opt.ex.unsafe_no_ic ? " UNSAFE-NO-IC" : "");
+              opt.ex.crash_budget, opt.ex.snapshot_pipeline_latency_us,
+              opt.ex.unsafe_no_ic ? " UNSAFE-NO-IC" : "");
 
   const auto t0 = std::chrono::steady_clock::now();
   mc::ExploreResult res = explorer.explore(*strategy);

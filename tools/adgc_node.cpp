@@ -65,6 +65,7 @@ struct Options {
   SimTime peer_death_timeout_ms = 0;  // 0 = eviction disabled
   bool batching = true;
   SimTime batch_flush_us = 0;  // 0 = keep the config default
+  bool snapshot_pipeline = true;
   bool verbose = false;
   bool admin = false;
   std::uint16_t admin_port = 0;       // 0 = kernel-assigned
@@ -106,6 +107,10 @@ constexpr cli::FlagSpec kNodeFlags[] = {
      "batch flush deadline (wall-clock us): the most\n"
      "latency batching may add to a control message\n"
      "(default: the config default)"},
+    {"--no-snapshot-pipeline", nullptr,
+     "serialize, persist and summarize each periodic snapshot\n"
+     "synchronously on the actor thread instead of on the\n"
+     "per-node background worker (default: pipeline on)"},
     {"--admin-port", "P",
      "serve the admin HTTP endpoint (/metrics, /healthz,\n"
      "/tracez) on 127.0.0.1:P; 0 binds a kernel-assigned\n"
@@ -195,6 +200,8 @@ Options parse(int argc, char** argv) {
       opt.peer_death_timeout_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--no-batching", &v)) {
       opt.batching = false;
+    } else if (parse_flag(argv[i], "--no-snapshot-pipeline", &v)) {
+      opt.snapshot_pipeline = false;
     } else if (parse_flag(argv[i], "--batch-flush-us", &v)) {
       opt.batch_flush_us = std::strtoull(v.c_str(), nullptr, 10);
       if (opt.batch_flush_us == 0) usage(argv[0], 2);
@@ -284,6 +291,7 @@ int main(int argc, char** argv) {
   nopts.cfg.proc.peer_death_timeout_us = opt.peer_death_timeout_ms * 1000;
   nopts.cfg.proc.batching_enabled = opt.batching;
   if (opt.batch_flush_us > 0) nopts.cfg.proc.batch_flush_us = opt.batch_flush_us;
+  nopts.cfg.proc.snapshot_pipeline = opt.snapshot_pipeline;
   // Keep the per-candidate relaunch backoff short relative to the harness
   // timeout: a detection aborted by a peer crash must retry briskly.
   nopts.cfg.proc.detection_backoff_cap_us = 1'000'000;
@@ -329,8 +337,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.cdms_sent.get()),
                 static_cast<unsigned long long>(m.detections_started.get()),
                 static_cast<unsigned long long>(m.scions_deleted_cyclic.get()),
-                m.rmi_rtt_us.quantile(0.5), m.rmi_rtt_us.quantile(0.99),
-                m.lgc_pause_us.quantile(0.99), m.batch_flush_msgs.quantile(0.5));
+                static_cast<double>(m.rmi_rtt_us.quantile(0.5)),
+                static_cast<double>(m.rmi_rtt_us.quantile(0.99)),
+                static_cast<double>(m.lgc_pause_us.quantile(0.99)),
+                static_cast<double>(m.batch_flush_msgs.quantile(0.5)));
     std::fflush(stdout);
   };
   const auto dump_trace = [&] {

@@ -55,6 +55,8 @@ struct Options {
   int crash_every = 0;  // 0 = no fault injection
   bool batching = true;
   SimTime batch_flush_us = 0;  // 0 = keep the config default
+  bool snapshot_pipeline = true;
+  SimTime snapshot_pipeline_latency_us = 0;  // 0 = keep the config default
   bool chaos = false;
   std::uint64_t peer_death_timeout_ms = 0;  // --chaos only; 0 = eviction off
   bool compare_backoff = false;
@@ -91,6 +93,14 @@ constexpr cli::FlagSpec kWorkloadFlags[] = {
      "batch flush deadline in simulated microseconds -- the\n"
      "most latency batching may add to a control message\n"
      "(default: the config default); ignored under --no-batching"},
+    {"--no-snapshot-pipeline", nullptr,
+     "publish each periodic snapshot's summary synchronously\n"
+     "instead of deferring serialization, persistence and\n"
+     "summarization off the mutator path (default: pipeline on)"},
+    {"--snapshot-pipeline-latency-us", "T",
+     "simulated delay between a pipelined snapshot capture and\n"
+     "its summary publish (default: the config default);\n"
+     "ignored under --no-snapshot-pipeline"},
     {"--obs-dump", "FILE",
      "write the merged structured-event trace of all processes\n"
      "to FILE in the binary format adgc_trace converts to\n"
@@ -102,7 +112,8 @@ constexpr std::size_t kNumWorkloadFlags =
 
 constexpr cli::FlagSpec kChaosFlags[] = {
     {"--seed", "S", ""}, {"--loss", "P", ""}, {"--dup", "P", ""},
-    {"--no-batching", nullptr, ""}, {"--peer-death-timeout-ms", "T", ""},
+    {"--no-batching", nullptr, ""}, {"--no-snapshot-pipeline", nullptr, ""},
+    {"--peer-death-timeout-ms", "T", ""},
 };
 constexpr cli::FlagSpec kBackoffFlags[] = {
     {"--seed", "S", ""}, {"--loss", "P", ""},
@@ -187,6 +198,11 @@ Options parse(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--batch-flush-us", &v)) {
       opt.batch_flush_us = std::strtoull(v.c_str(), nullptr, 10);
       if (opt.batch_flush_us == 0) usage(argv[0]);
+    } else if (parse_flag(argv[i], "--no-snapshot-pipeline", &v)) {
+      opt.snapshot_pipeline = false;
+    } else if (parse_flag(argv[i], "--snapshot-pipeline-latency-us", &v)) {
+      opt.snapshot_pipeline_latency_us = std::strtoull(v.c_str(), nullptr, 10);
+      if (opt.snapshot_pipeline_latency_us == 0) usage(argv[0]);
     } else if (parse_flag(argv[i], "--rmi-edges", &v)) {
       opt.rmi_edges = true;
     } else if (parse_flag(argv[i], "--chaos", &v)) {
@@ -225,15 +241,16 @@ int main(int argc, char** argv) {
     sim::ChaosSweepParams cp;
     cp.seed = opt.seed;
     cp.batching = opt.batching;
+    cp.snapshot_pipeline = opt.snapshot_pipeline;
     if (opt.loss > 0) cp.loss_probability = opt.loss;
     if (opt.dup > 0) cp.duplicate_probability = opt.dup;
     cp.peer_death_timeout_us = opt.peer_death_timeout_ms * 1000;
     std::printf(
         "chaos sweep: seed=%llu loss=%.2f dup=%.2f slices=%zu crashes=%s "
-        "batching=%s eviction=%s\n",
+        "batching=%s pipeline=%s eviction=%s\n",
         static_cast<unsigned long long>(cp.seed), cp.loss_probability,
         cp.duplicate_probability, cp.slices, cp.with_crashes ? "on" : "off",
-        cp.batching ? "on" : "off",
+        cp.batching ? "on" : "off", cp.snapshot_pipeline ? "on" : "off",
         cp.peer_death_timeout_us > 0 ? "on" : "off");
     const sim::ChaosSweepResult res = sim::run_chaos_sweep(cp);
     std::printf("  crashes=%zu recovered=%zu messages_lost=%llu\n", res.crashes,
@@ -276,6 +293,10 @@ int main(int argc, char** argv) {
   cfg.proc.dcda_enabled = opt.dcda;
   cfg.proc.batching_enabled = opt.batching;
   if (opt.batch_flush_us > 0) cfg.proc.batch_flush_us = opt.batch_flush_us;
+  cfg.proc.snapshot_pipeline = opt.snapshot_pipeline;
+  if (opt.snapshot_pipeline_latency_us > 0) {
+    cfg.proc.snapshot_pipeline_latency_us = opt.snapshot_pipeline_latency_us;
+  }
   cfg.proc.summarizer = opt.use_scc ? ProcessConfig::SummarizerKind::kScc
                                     : ProcessConfig::SummarizerKind::kBfs;
   std::filesystem::path crash_dir;

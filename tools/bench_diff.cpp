@@ -24,6 +24,13 @@
 //   * obs_overhead_pct: must stay <= 5 — the observability plane (trace
 //     ring + event stamping) may not cost more than 5% on the RMI series,
 //     regardless of what the baseline measured (docs/OBSERVABILITY.md).
+//   * snapshot_sync_speedup: must stay >= 5 — the asynchronous snapshot
+//     pipeline must keep mutator-visible snapshot cost at least 5x below
+//     the synchronous path, regardless of what the baseline measured
+//     (docs/DESIGN.md snapshot-pipeline section).
+//   * persist_failures: must stay <= baseline (0 in every baseline) — a
+//     bench leg that starts failing store publishes is a broken store, not
+//     noise.
 //   * *_ms wall-clock latencies: current <= max(baseline * 1.20,
 //     baseline + 10ms) — the 20% latency gate, with an absolute floor so
 //     micro-times on shared runners don't flap (a 30ms bench jitters by
@@ -118,22 +125,25 @@ enum class Gate {
   kP50Ratio,
   kCollected,
   kObsOverhead,
+  kPipelineSpeedup,
   kWallMs,
   kInfo
 };
 
 Gate classify(const std::string& name) {
-  if (name == "calls" || name == "batching" || name == "processes" || name == "objs") {
+  if (name == "calls" || name == "batching" || name == "processes" || name == "objs" ||
+      name == "pipeline" || name == "snapshots") {
     return Gate::kIdentity;
   }
   if (name == "msgs_per_rmi" || name == "bytes_per_rmi" || name == "messages" ||
-      name == "cdms" || name == "cdm_bytes") {
+      name == "cdms" || name == "cdm_bytes" || name == "persist_failures") {
     return Gate::kCount;
   }
   if (ends_with(name, "reduction_pct")) return Gate::kReduction;
   if (name == "p50_ratio") return Gate::kP50Ratio;
   if (name == "collected") return Gate::kCollected;
   if (name == "obs_overhead_pct") return Gate::kObsOverhead;
+  if (name == "snapshot_sync_speedup") return Gate::kPipelineSpeedup;
   if (ends_with(name, "_ms")) return Gate::kWallMs;
   return Gate::kInfo;
 }
@@ -188,6 +198,14 @@ Verdict check(Gate gate, double base, double cur) {
       if (cur > 5.0) {
         std::snprintf(buf, sizeof buf,
                       "observability overhead above the 5%% budget (%.6g%% -> %.6g%%)",
+                      base, cur);
+        v = {true, buf};
+      }
+      break;
+    case Gate::kPipelineSpeedup:
+      if (cur < 5.0) {
+        std::snprintf(buf, sizeof buf,
+                      "snapshot pipeline speedup below the 5x floor (%.6gx -> %.6gx)",
                       base, cur);
         v = {true, buf};
       }
